@@ -1,0 +1,46 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures or tables at a reduced
+scale (see EXPERIMENTS.md for the scaling rationale and for paper-scale
+instructions).  The reduced scale keeps the whole harness runnable in a few
+minutes on a laptop while preserving the qualitative shape of every result:
+who wins, how curves move with WiFi range, and where the trade-offs sit.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+# WiFi ranges swept by the reduced-scale harness (paper: 20-100 m).
+BENCH_WIFI_RANGES = (40.0, 80.0)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Reduced-scale configuration shared by every figure benchmark."""
+    return ExperimentConfig.small().with_overrides(trials=2, max_duration=400.0)
+
+
+@pytest.fixture(scope="session")
+def quick_config() -> ExperimentConfig:
+    """Single-trial configuration for the heavier sweeps (9e/9f, comparisons)."""
+    return ExperimentConfig.small().with_overrides(trials=1, max_duration=400.0)
+
+
+def report(result) -> None:
+    """Print an experiment's rows and archive them under benchmark_results/.
+
+    The archived files are what EXPERIMENTS.md's measured numbers come from;
+    printing as well means ``pytest -s`` shows the tables inline.
+    """
+    print()
+    print(result.summary())
+    results_dir = pathlib.Path(__file__).resolve().parent.parent / "benchmark_results"
+    results_dir.mkdir(exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "-", result.name.lower()).strip("-")[:60]
+    (results_dir / f"{slug}.txt").write_text(result.summary() + "\n", encoding="utf-8")

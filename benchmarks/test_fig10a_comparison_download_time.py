@@ -1,0 +1,23 @@
+"""Fig. 10a — download time: DAPES vs Bithoc vs Ekta."""
+
+from conftest import report
+
+from repro.experiments import ComparisonExperiment
+
+
+def test_fig10a_comparison_download_time(benchmark, bench_config):
+    experiment = ComparisonExperiment(config=bench_config, wifi_ranges=(60.0,))
+    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    report(result)
+
+    labels = {point.label for point in result.points}
+    assert {"DAPES", "Bithoc", "Ekta"} <= labels
+    # Paper claim (Fig. 10a): DAPES achieves 15-27 % / 19-33 % lower download
+    # times than Bithoc / Ekta.  At reduced scale we require DAPES not to be
+    # slower than either baseline.
+    series = result.series("download_time")
+    dapes = sum(series["DAPES"]) / len(series["DAPES"])
+    bithoc = sum(series["Bithoc"]) / len(series["Bithoc"])
+    ekta = sum(series["Ekta"]) / len(series["Ekta"])
+    assert dapes <= bithoc * 1.10
+    assert dapes <= ekta * 1.10

@@ -1,0 +1,21 @@
+"""Fig. 9a — file-collection download time for the RPF strategy variants."""
+
+from conftest import BENCH_WIFI_RANGES, report
+
+from repro.experiments import RpfStrategyExperiment
+
+
+def test_fig9a_rpf_download_time(benchmark, bench_config):
+    experiment = RpfStrategyExperiment(config=bench_config, wifi_ranges=BENCH_WIFI_RANGES)
+    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    report(result)
+
+    assert result.points, "the sweep must produce data points"
+    # Every variant must actually distribute the collection.
+    assert all(point.completion_ratio > 0.5 for point in result.points)
+    # Paper claim (Fig. 9a): local-neighborhood RPF beats encounter-based RPF
+    # on average across the sweep.
+    series = result.series("download_time")
+    local = [v for label, values in series.items() if "local" in label.lower() for v in values]
+    encounter = [v for label, values in series.items() if "encounter" in label.lower() for v in values]
+    assert sum(local) / len(local) <= sum(encounter) / len(encounter) * 1.15

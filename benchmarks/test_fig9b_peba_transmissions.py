@@ -1,0 +1,21 @@
+"""Fig. 9b — transmissions for both RPF flavours, with and without PEBA."""
+
+from conftest import BENCH_WIFI_RANGES, report
+
+from repro.experiments import PebaExperiment
+
+
+def test_fig9b_peba_transmissions(benchmark, bench_config):
+    experiment = PebaExperiment(config=bench_config, wifi_ranges=BENCH_WIFI_RANGES)
+    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    report(result)
+
+    assert result.points
+    assert all(point.transmissions > 0 for point in result.points)
+    # Paper claim (Fig. 9b): PEBA reduces the number of transmissions
+    # (22-28 % in the paper); at reduced scale we only require that enabling
+    # PEBA does not increase the overhead on average.
+    series = result.series("transmissions")
+    with_peba = [v for label, values in series.items() if "(PEBA)" in label for v in values]
+    without_peba = [v for label, values in series.items() if "w/o PEBA" in label for v in values]
+    assert sum(with_peba) / len(with_peba) <= sum(without_peba) / len(without_peba) * 1.10

@@ -1,0 +1,20 @@
+"""Fig. 9c — download time when bitmaps are exchanged before data download."""
+
+from conftest import BENCH_WIFI_RANGES, report
+
+from repro.experiments import BitmapsBeforeDataExperiment
+
+
+def test_fig9c_bitmaps_before_data(benchmark, bench_config):
+    experiment = BitmapsBeforeDataExperiment(
+        config=bench_config,
+        wifi_ranges=BENCH_WIFI_RANGES,
+        bitmap_budgets=(1, 2, 4, None),
+    )
+    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    report(result)
+
+    assert result.points
+    labels = {point.label for point in result.points}
+    assert "1 bitmap" in labels and "All bitmaps" in labels
+    assert all(point.completion_ratio > 0.5 for point in result.points)

@@ -1,0 +1,18 @@
+"""Fig. 9e — download time for a varying number of files per collection."""
+
+from conftest import report
+
+from repro.experiments import FileCountExperiment
+
+
+def test_fig9e_varying_number_of_files(benchmark, quick_config):
+    experiment = FileCountExperiment(
+        config=quick_config, wifi_ranges=(60.0,), count_factors=(1, 3)
+    )
+    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    report(result)
+
+    assert result.points
+    # Paper claim (Fig. 9e): the download time grows with the amount of data.
+    by_files = sorted(result.points, key=lambda point: point.parameters["num_files"])
+    assert by_files[0].download_time <= by_files[-1].download_time

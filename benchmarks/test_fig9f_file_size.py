@@ -1,0 +1,18 @@
+"""Fig. 9f — download time for a varying file size."""
+
+from conftest import report
+
+from repro.experiments import FileSizeExperiment
+
+
+def test_fig9f_varying_file_size(benchmark, quick_config):
+    experiment = FileSizeExperiment(
+        config=quick_config, wifi_ranges=(60.0,), size_factors=(1, 5)
+    )
+    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    report(result)
+
+    assert result.points
+    # Paper claim (Fig. 9f): the download time grows with the file size.
+    by_size = sorted(result.points, key=lambda point: point.parameters["file_size"])
+    assert by_size[0].download_time <= by_size[-1].download_time

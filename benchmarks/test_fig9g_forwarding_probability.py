@@ -1,0 +1,23 @@
+"""Fig. 9g — download time for single-hop vs multi-hop forwarding probabilities."""
+
+from conftest import report
+
+from repro.experiments import ForwardingProbabilityExperiment
+
+
+def test_fig9g_forwarding_probability_download_time(benchmark, bench_config):
+    experiment = ForwardingProbabilityExperiment(
+        config=bench_config, wifi_ranges=(60.0,), probabilities=(None, 0.2, 0.4)
+    )
+    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    report(result)
+
+    assert result.points
+    labels = {point.label for point in result.points}
+    assert "Single-hop" in labels
+    assert any("20%" in label for label in labels)
+    # Paper claim (Fig. 9g): multi-hop forwarding reduces the download time
+    # compared to the single-hop design (12-23 % in the paper).
+    single = [p.download_time for p in result.points if p.label == "Single-hop"]
+    multi = [p.download_time for p in result.points if p.label != "Single-hop"]
+    assert min(multi) <= max(single) * 1.10

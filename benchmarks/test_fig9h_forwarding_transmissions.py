@@ -1,0 +1,19 @@
+"""Fig. 9h — transmissions for single-hop vs multi-hop forwarding probabilities."""
+
+from conftest import report
+
+from repro.experiments import ForwardingProbabilityExperiment
+
+
+def test_fig9h_forwarding_probability_transmissions(benchmark, bench_config):
+    experiment = ForwardingProbabilityExperiment(
+        config=bench_config, wifi_ranges=(60.0,), probabilities=(None, 0.2, 0.6)
+    )
+    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    report(result)
+
+    assert result.points
+    # Paper claim (Fig. 9h): forwarding more Interests increases the overhead.
+    single = [p.transmissions for p in result.points if p.label == "Single-hop"]
+    heavy = [p.transmissions for p in result.points if "60%" in p.label]
+    assert max(heavy) >= min(single)

@@ -1,0 +1,21 @@
+"""Table I — the real-world feasibility study scenarios."""
+
+from conftest import report
+
+from repro.experiments import ExperimentConfig, FeasibilityStudy
+
+
+def test_table1_feasibility_study(benchmark):
+    config = ExperimentConfig.small().with_overrides(trials=1, max_duration=400.0)
+    study = FeasibilityStudy(config=config)
+    result = benchmark.pedantic(study.run, rounds=1, iterations=1)
+    report(result)
+
+    rows = {point.parameters["scenario"]: point for point in result.points}
+    assert set(rows) == {1, 2, 3}
+    assert all(point.completion_ratio == 1.0 for point in rows.values()), "every scenario must finish"
+    # Paper claims (Table I): scenario 1 (carrier) needs the most time and
+    # transmissions; scenario 3 (moving nodes, multi-hop) needs the least of
+    # both.
+    assert rows[1].download_time >= rows[2].download_time >= rows[3].download_time
+    assert rows[1].transmissions >= rows[3].transmissions

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The environment this reproduction targets may lack the ``wheel`` package, in
+which case PEP 517 editable installs fail with ``invalid command
+'bdist_wheel'``.  Keeping a ``setup.py`` allows the legacy editable install
+path (``pip install -e . --no-use-pep517 --no-build-isolation``) as well as
+the modern one.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

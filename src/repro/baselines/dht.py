@@ -1,0 +1,85 @@
+"""The Pastry-style key space and provider registry used by Ekta.
+
+Ekta integrates a Pastry-like DHT with DSR at the network layer: every node
+owns a position in a circular key space derived from its identifier, and an
+object key is stored at (its *root*) the node whose identifier is
+numerically closest to the key.
+
+This reproduction gives every swarm member knowledge of the other members'
+identifiers, so overlay routing to the root is a single overlay hop (carried,
+like every Ekta message, over a multi-hop DSR route).  Real Pastry needs
+O(log N) overlay hops; collapsing them *under-counts* Ekta's overhead, i.e.
+the simplification is conservative in favour of the baseline (documented in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+KEY_BITS = 64
+
+
+def dht_id(identifier: str) -> int:
+    """Position of ``identifier`` (node id or object name) in the key space."""
+    digest = hashlib.sha256(identifier.encode("utf-8")).digest()
+    return int.from_bytes(digest[: KEY_BITS // 8], "big")
+
+
+def circular_distance(a: int, b: int) -> int:
+    """Distance between two points on the circular key space."""
+    size = 1 << KEY_BITS
+    diff = abs(a - b) % size
+    return min(diff, size - diff)
+
+
+@dataclass
+class DhtKeySpace:
+    """Membership view used to find the root node of a key."""
+
+    members: List[str] = field(default_factory=list)
+
+    def add_member(self, node_id: str) -> None:
+        if node_id not in self.members:
+            self.members.append(node_id)
+
+    def root_of(self, key: str) -> Optional[str]:
+        """The member whose id is numerically closest to ``key``."""
+        if not self.members:
+            return None
+        key_position = dht_id(key)
+        return min(self.members, key=lambda member: (circular_distance(dht_id(member), key_position), member))
+
+    def is_root(self, node_id: str, key: str) -> bool:
+        return self.root_of(key) == node_id
+
+
+class DhtRegistry:
+    """Provider records stored at a key's root node."""
+
+    def __init__(self):
+        self._providers: Dict[str, Set[str]] = {}
+
+    def publish(self, key: str, provider: str) -> None:
+        """Record that ``provider`` holds the object ``key``."""
+        self._providers.setdefault(key, set()).add(provider)
+
+    def providers(self, key: str) -> List[str]:
+        """Known providers of ``key`` (sorted for determinism)."""
+        return sorted(self._providers.get(key, set()))
+
+    def remove_provider(self, key: str, provider: str) -> None:
+        providers = self._providers.get(key)
+        if providers is not None:
+            providers.discard(provider)
+            if not providers:
+                del self._providers[key]
+
+    def __len__(self) -> int:
+        return len(self._providers)
+
+    @property
+    def state_size_bytes(self) -> int:
+        return sum(16 + 16 * len(providers) for providers in self._providers.values())

@@ -1,0 +1,123 @@
+"""Data-advertisement prioritization during an encounter (Section IV-F).
+
+When several peers meet, the order in which they transmit their bitmaps
+matters: the goal is that encountered peers quickly become aware of as much
+available (missing) data as possible.  The rules are:
+
+* the first bitmap of an encounter goes to the peer holding the most data;
+* every subsequent transmission is prioritized by the number of packets a
+  peer holds that are missing from *all previously transmitted* bitmaps;
+* collisions among similarly-useful peers are mitigated by PEBA.
+
+:class:`AdvertisementTracker` maintains, per collection, the union of the
+bitmaps already transmitted during the current encounter, and computes the
+priority inputs (useful packets / total missing) that feed the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.bitmap import Bitmap
+
+
+@dataclass
+class _EncounterAdvertisementState:
+    """Union of bitmaps already heard/transmitted for one collection."""
+
+    transmitted_union: Optional[Bitmap] = None
+    bitmaps_heard: int = 0
+    last_activity: float = 0.0
+
+
+@dataclass
+class AdvertisementPriority:
+    """Inputs to the bitmap-transmission scheduler for one peer."""
+
+    useful_packets: int
+    total_missing: int
+    bitmaps_heard: int
+
+    @property
+    def is_first(self) -> bool:
+        """Whether no bitmap has been transmitted yet in this encounter."""
+        return self.bitmaps_heard == 0
+
+    @property
+    def useful_fraction(self) -> float:
+        """Fraction of still-missing packets this peer can provide."""
+        if self.total_missing <= 0:
+            return 1.0 if self.useful_packets > 0 else 0.0
+        return self.useful_packets / self.total_missing
+
+
+class AdvertisementTracker:
+    """Tracks transmitted bitmaps per collection during the current encounter."""
+
+    def __init__(self, encounter_timeout: float = 6.0):
+        self.encounter_timeout = encounter_timeout
+        self._state: Dict[str, _EncounterAdvertisementState] = {}
+
+    # ------------------------------------------------------------- lifecycle
+    def _fresh_state(self, collection: str, now: float) -> _EncounterAdvertisementState:
+        state = self._state.get(collection)
+        if state is None or now - state.last_activity > self.encounter_timeout:
+            state = _EncounterAdvertisementState(last_activity=now)
+            self._state[collection] = state
+        return state
+
+    def reset(self, collection: Optional[str] = None) -> None:
+        """Drop per-encounter state (for one collection or all of them)."""
+        if collection is None:
+            self._state.clear()
+        else:
+            self._state.pop(collection, None)
+
+    # --------------------------------------------------------------- updates
+    def observe_transmitted_bitmap(self, collection: str, bitmap: Bitmap, now: float) -> None:
+        """Record a bitmap heard on the channel (ours or another peer's)."""
+        state = self._fresh_state(collection, now)
+        if state.transmitted_union is None:
+            state.transmitted_union = bitmap.copy()
+        elif state.transmitted_union.size == bitmap.size:
+            state.transmitted_union = state.transmitted_union.union(bitmap)
+        state.bitmaps_heard += 1
+        state.last_activity = now
+
+    # --------------------------------------------------------------- queries
+    def priority(self, collection: str, own_bitmap: Bitmap, now: float) -> AdvertisementPriority:
+        """Priority inputs for transmitting ``own_bitmap`` now."""
+        state = self._fresh_state(collection, now)
+        union = state.transmitted_union
+        if union is None or union.size != own_bitmap.size:
+            # First bitmap of the encounter: priority is simply how much data
+            # the peer holds (the peer with most data should transmit first).
+            return AdvertisementPriority(
+                useful_packets=own_bitmap.count(),
+                total_missing=own_bitmap.size,
+                bitmaps_heard=0,
+            )
+        missing_from_transmitted = union.missing_count()
+        useful = own_bitmap.difference(union).count()
+        return AdvertisementPriority(
+            useful_packets=useful,
+            total_missing=missing_from_transmitted,
+            bitmaps_heard=state.bitmaps_heard,
+        )
+
+    def bitmaps_heard(self, collection: str, now: float) -> int:
+        """How many bitmaps have been heard for ``collection`` this encounter."""
+        state = self._state.get(collection)
+        if state is None or now - state.last_activity > self.encounter_timeout:
+            return 0
+        return state.bitmaps_heard
+
+    @property
+    def state_size_bytes(self) -> int:
+        """Memory held by the tracker (Table I proxy)."""
+        total = 0
+        for state in self._state.values():
+            if state.transmitted_union is not None:
+                total += state.transmitted_union.wire_size
+        return total

@@ -1,0 +1,153 @@
+"""Compact data advertisements (Section IV-D).
+
+Each bit refers to one packet of a collection, ordered by the relative
+position of the files in the metadata and of the packets within each file.
+A set bit means the peer has the packet.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+
+class Bitmap:
+    """A fixed-length bitmap over the packets of one collection."""
+
+    __slots__ = ("_bits", "_size")
+
+    def __init__(self, size: int, set_bits: Iterable[int] = ()):  # noqa: D107
+        if size < 0:
+            raise ValueError("bitmap size must be non-negative")
+        self._size = size
+        self._bits = bytearray((size + 7) // 8)
+        for index in set_bits:
+            self.set(index)
+
+    # --------------------------------------------------------------- basics
+    @property
+    def size(self) -> int:
+        """Number of packets the bitmap covers."""
+        return self._size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self._size:
+            raise IndexError(f"bit index {index} out of range (size {self._size})")
+
+    def set(self, index: int, value: bool = True) -> None:
+        """Set (or clear) the bit for packet ``index``."""
+        self._check(index)
+        byte, offset = divmod(index, 8)
+        if value:
+            self._bits[byte] |= 1 << offset
+        else:
+            self._bits[byte] &= ~(1 << offset)
+
+    def get(self, index: int) -> bool:
+        """Whether the peer has packet ``index``."""
+        self._check(index)
+        byte, offset = divmod(index, 8)
+        return bool(self._bits[byte] & (1 << offset))
+
+    def __getitem__(self, index: int) -> bool:
+        return self.get(index)
+
+    def __iter__(self) -> Iterator[bool]:
+        return (self.get(index) for index in range(self._size))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Bitmap):
+            return NotImplemented
+        return self._size == other._size and self._bits == other._bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bitmap({self.count()}/{self._size})"
+
+    # ------------------------------------------------------------- counting
+    def count(self) -> int:
+        """Number of packets the peer has."""
+        return sum(bin(byte).count("1") for byte in self._bits)
+
+    def missing_count(self) -> int:
+        """Number of packets the peer is missing."""
+        return self._size - self.count()
+
+    def is_complete(self) -> bool:
+        """Whether every packet is present."""
+        return self.count() == self._size
+
+    def ones(self) -> List[int]:
+        """Indices of packets the peer has."""
+        return [index for index in range(self._size) if self.get(index)]
+
+    def missing(self) -> List[int]:
+        """Indices of packets the peer is missing."""
+        return [index for index in range(self._size) if not self.get(index)]
+
+    # ----------------------------------------------------------- set algebra
+    def union(self, other: "Bitmap") -> "Bitmap":
+        """Packets present in either bitmap."""
+        self._check_compatible(other)
+        result = Bitmap(self._size)
+        result._bits = bytearray(a | b for a, b in zip(self._bits, other._bits))
+        return result
+
+    def intersection(self, other: "Bitmap") -> "Bitmap":
+        """Packets present in both bitmaps."""
+        self._check_compatible(other)
+        result = Bitmap(self._size)
+        result._bits = bytearray(a & b for a, b in zip(self._bits, other._bits))
+        return result
+
+    def difference(self, other: "Bitmap") -> "Bitmap":
+        """Packets present here but missing from ``other``."""
+        self._check_compatible(other)
+        result = Bitmap(self._size)
+        result._bits = bytearray(a & ~b & 0xFF for a, b in zip(self._bits, other._bits))
+        return result
+
+    def _check_compatible(self, other: "Bitmap") -> None:
+        if self._size != other._size:
+            raise ValueError(f"bitmap sizes differ ({self._size} vs {other._size})")
+
+    # ------------------------------------------------------------- encoding
+    def to_bytes(self) -> bytes:
+        """Compact wire encoding (one bit per packet)."""
+        return bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, size: int, payload: bytes) -> "Bitmap":
+        """Decode a bitmap of ``size`` packets from its wire encoding."""
+        bitmap = cls(size)
+        expected = (size + 7) // 8
+        if len(payload) != expected:
+            raise ValueError(f"expected {expected} bytes for a {size}-bit bitmap, got {len(payload)}")
+        bitmap._bits = bytearray(payload)
+        # Clear any padding bits beyond `size` so equality stays well defined.
+        extra_bits = expected * 8 - size
+        if extra_bits:
+            bitmap._bits[-1] &= (1 << (8 - extra_bits)) - 1
+        return bitmap
+
+    @property
+    def wire_size(self) -> int:
+        """Encoded size in bytes."""
+        return len(self._bits)
+
+    def copy(self) -> "Bitmap":
+        clone = Bitmap(self._size)
+        clone._bits = bytearray(self._bits)
+        return clone
+
+    # -------------------------------------------------------------- helpers
+    @staticmethod
+    def rarity(index: int, bitmaps: Sequence["Bitmap"]) -> int:
+        """How many of ``bitmaps`` are missing packet ``index`` (higher = rarer)."""
+        return sum(1 for bitmap in bitmaps if not bitmap.get(index))
+
+    @classmethod
+    def full(cls, size: int) -> "Bitmap":
+        """A bitmap with every packet present (producers, completed peers)."""
+        return cls(size, set_bits=range(size))

@@ -1,0 +1,190 @@
+"""Adaptive forwarding/suppression for nodes running DAPES (Section V-B).
+
+The :class:`DapesForwardingStrategy` is installed on every node that runs the
+DAPES application — downloading peers, repositories and intermediate nodes
+that merely relay.  It always bridges the wireless face and the application
+face (so the local application sees and can answer Interests), and, when
+multi-hop communication is enabled, additionally decides whether to
+*re-broadcast* Interests received over the air:
+
+* Interests for data the local application itself holds are never
+  re-broadcast (the application will answer).
+* Interests for data that, according to the node's short-lived knowledge,
+  some other neighbour holds are forwarded — they are likely to bring the
+  data back.
+* Interests for collections the node knows nothing about fall back to the
+  pure-forwarder behaviour: forward with a configurable probability after a
+  random wait, and suppress a name prefix for a while when a forwarded
+  Interest failed to bring data back.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.knowledge import NeighborKnowledge
+from repro.core.namespace import DapesNamespace
+from repro.ndn.face import AppFace, BroadcastFace
+from repro.ndn.packet import Data, Interest
+from repro.ndn.strategy import ForwardingStrategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.peer import DapesPeer
+
+
+class DapesForwardingStrategy(ForwardingStrategy):
+    """Forwarding strategy of a node running the DAPES application."""
+
+    def __init__(
+        self,
+        peer: Optional["DapesPeer"] = None,
+        knowledge: Optional[NeighborKnowledge] = None,
+        multi_hop: bool = True,
+        forwarding_probability: float = 0.2,
+        min_wait: float = 0.005,
+        max_wait: float = 0.050,
+        suppression_timeout: float = 10.0,
+    ):
+        super().__init__()
+        self.peer = peer
+        self.knowledge = knowledge if knowledge is not None else NeighborKnowledge()
+        self.multi_hop = multi_hop
+        self.forwarding_probability = forwarding_probability
+        self.min_wait = min_wait
+        self.max_wait = max_wait
+        self.suppression_timeout = suppression_timeout
+        self._suppressed_until: dict = {}
+        self._rng = None
+        self.interests_rebroadcast = 0
+        self.interests_suppressed = 0
+        self.rebroadcasts_satisfied = 0
+
+    def attach(self, forwarder) -> None:
+        super().attach(forwarder)
+        self._rng = forwarder.sim.rng(f"strategy.dapes.{forwarder.node_id}")
+
+    # ------------------------------------------------------------ face roles
+    def _app_face_ids(self) -> list[int]:
+        return [face.face_id for face in self.forwarder.faces() if isinstance(face, AppFace)]
+
+    def _broadcast_face_ids(self) -> list[int]:
+        return [face.face_id for face in self.forwarder.faces() if isinstance(face, BroadcastFace)]
+
+    # ----------------------------------------------------------------- hooks
+    def decide_interest_forwarding(self, interest, incoming_face_id, entry, is_new):
+        incoming_face = self.forwarder.face(incoming_face_id)
+        # Let the application observe everything heard on the air (knowledge building).
+        if self.peer is not None and isinstance(incoming_face, BroadcastFace):
+            self.peer.observe_interest(interest)
+
+        decision = []
+        if isinstance(incoming_face, AppFace):
+            # The local application is requesting (or deliberately
+            # retransmitting): put the Interest on the air.  The application
+            # owns its retransmission policy, so aggregation does not apply
+            # to its own face.
+            decision.extend((face_id, 0.0) for face_id in self._broadcast_face_ids())
+            return decision
+
+        # Interest arrived over the air: it always reaches the local application...
+        if is_new:
+            decision.extend((face_id, 0.0) for face_id in self._app_face_ids())
+        # ...and may additionally be re-broadcast for multi-hop reach.
+        if self.multi_hop and (is_new or not entry.forwarded):
+            rebroadcast_delay = self._rebroadcast_delay(interest)
+            if rebroadcast_delay is not None:
+                decision.extend((face_id, rebroadcast_delay) for face_id in self._broadcast_face_ids())
+                self.interests_rebroadcast += 1
+            else:
+                self.interests_suppressed += 1
+        return decision
+
+    def on_data_received(self, data: Data, incoming_face_id: int) -> None:
+        face = self.forwarder.face(incoming_face_id)
+        if self.peer is not None and isinstance(face, BroadcastFace):
+            self.peer.observe_data(data)
+        self._suppressed_until.pop(self._suppression_key(data.name), None)
+
+    def on_interest_expired(self, entry) -> None:
+        if entry.forwarded:
+            key = self._suppression_key(entry.name)
+            self._suppressed_until[key] = self.forwarder.sim.now + self.suppression_timeout
+        if self.peer is not None:
+            self.peer.on_pit_expired(entry)
+
+    def should_cache_unsolicited(self, data: Data) -> bool:
+        # Overheard transmissions are cached so they can satisfy future requests.
+        return True
+
+    # -------------------------------------------------------------- decisions
+    def _rebroadcast_delay(self, interest: Interest) -> Optional[float]:
+        """Delay before re-broadcasting, or ``None`` to suppress."""
+        if interest.hop_limit <= 1:
+            return None
+        name = interest.name
+        now = self.forwarder.sim.now
+        if self._is_suppressed(name):
+            return None
+        kind = DapesNamespace.classify(name)
+
+        if kind == "collection-data":
+            parsed = DapesNamespace.parse_packet_name(name)
+            if parsed is None:
+                return self._probabilistic_delay()
+            if self.peer is not None and self.peer.has_packet(parsed.collection, name):
+                return None  # the local application will answer
+            index = self.peer.packet_index(parsed.collection, name) if self.peer else None
+            if index is not None and self.knowledge.someone_has_packet(parsed.collection, index, now):
+                # Some neighbour is known to hold the packet: forwarding is
+                # likely to bring the data back (Section V-B, same collection).
+                return self._random_wait()
+            if index is not None and self.knowledge.data_recently_heard(parsed.collection, now, index):
+                # The exact packet was recently heard nearby (it sits in
+                # somebody's Content Store): forward.
+                return self._random_wait()
+            # No knowledge about the requested data: fall back to the pure
+            # forwarders' probabilistic scheme (Section V-B, different
+            # collection / no knowledge).
+            return self._probabilistic_delay()
+
+        if kind == "metadata":
+            collection = DapesNamespace.metadata_collection(name)
+            if self.peer is not None and self.peer.has_metadata(collection):
+                return None
+            if self.knowledge.knows_collection(collection, now):
+                return self._random_wait()
+            return self._probabilistic_delay()
+
+        if kind == "bitmap":
+            target = DapesNamespace.bitmap_target(name)
+            if self.peer is not None and target == self.peer.node_id:
+                return None  # addressed to us; the application answers
+            collection = DapesNamespace.bitmap_collection(name)
+            if self.knowledge.neighbor_bitmap(target, collection, now) is not None:
+                return self._random_wait()
+            return self._probabilistic_delay()
+
+        # Discovery and anything else: purely probabilistic.
+        return self._probabilistic_delay()
+
+    def _probabilistic_delay(self) -> Optional[float]:
+        if self._rng.random() < self.forwarding_probability:
+            return self._random_wait()
+        return None
+
+    def _random_wait(self) -> float:
+        return self._rng.uniform(self.min_wait, self.max_wait)
+
+    # ------------------------------------------------------------ suppression
+    def _suppression_key(self, name):
+        return name.prefix(min(2, len(name)))
+
+    def _is_suppressed(self, name) -> bool:
+        key = self._suppression_key(name)
+        until = self._suppressed_until.get(key)
+        if until is None:
+            return False
+        if until <= self.forwarder.sim.now:
+            del self._suppressed_until[key]
+            return False
+        return True

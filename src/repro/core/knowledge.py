@@ -1,0 +1,144 @@
+"""Short-lived knowledge about the data available around a node (Section V).
+
+DAPES nodes overhear bitmap exchanges, Interests and Data transmissions from
+their neighbours and keep *short-lived* records of (i) which neighbour holds
+which packets of which collection, and (ii) which collections neighbours are
+interested in.  Intermediate nodes use this knowledge to decide whether
+forwarding a received Interest is likely to bring data back; peers use it to
+know what is available around them.
+
+Entries expire after ``timeout`` seconds — the knowledge is deliberately
+ephemeral because neighbours move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.bitmap import Bitmap
+
+
+@dataclass
+class _NeighborRecord:
+    """What is known about one neighbour for one collection."""
+
+    bitmap: Optional[Bitmap] = None
+    interested: bool = False
+    last_update: float = 0.0
+
+
+class NeighborKnowledge:
+    """Per-node store of overheard neighbour state."""
+
+    def __init__(self, timeout: float = 15.0):
+        self.timeout = timeout
+        # (collection, neighbour) -> record
+        self._records: Dict[Tuple[str, str], _NeighborRecord] = {}
+        # Names for which Data was recently overheard (data is nearby).
+        self._recent_data: Dict[str, float] = {}
+
+    # --------------------------------------------------------------- updates
+    def observe_bitmap(self, neighbor: str, collection: str, bitmap: Bitmap, now: float) -> None:
+        """Record a neighbour's advertised bitmap for a collection."""
+        record = self._records.setdefault((collection, neighbor), _NeighborRecord())
+        record.bitmap = bitmap
+        record.interested = True
+        record.last_update = now
+
+    def observe_interest(self, neighbor: str, collection: str, now: float) -> None:
+        """Record that a neighbour requested data of ``collection`` (it is interested)."""
+        record = self._records.setdefault((collection, neighbor), _NeighborRecord())
+        record.interested = True
+        record.last_update = now
+
+    def observe_data(self, collection: str, packet_index: Optional[int], now: float) -> None:
+        """Record that Data of ``collection`` was recently heard nearby."""
+        key = collection if packet_index is None else f"{collection}#{packet_index}"
+        self._recent_data[key] = now
+        self._recent_data[collection] = now
+
+    def forget_neighbor(self, neighbor: str) -> None:
+        """Drop everything known about a departed neighbour."""
+        for key in [key for key in self._records if key[1] == neighbor]:
+            del self._records[key]
+
+    # --------------------------------------------------------------- queries
+    def _fresh(self, record: _NeighborRecord, now: float) -> bool:
+        return now - record.last_update <= self.timeout
+
+    def neighbors_with_collection(self, collection: str, now: float) -> List[str]:
+        """Neighbours known to be interested in (or holding data of) ``collection``."""
+        return [
+            neighbor
+            for (coll, neighbor), record in self._records.items()
+            if coll == collection and self._fresh(record, now)
+        ]
+
+    def neighbor_bitmap(self, neighbor: str, collection: str, now: float) -> Optional[Bitmap]:
+        record = self._records.get((collection, neighbor))
+        if record is None or not self._fresh(record, now):
+            return None
+        return record.bitmap
+
+    def known_bitmaps(self, collection: str, now: float, exclude: Set[str] = frozenset()) -> List[Bitmap]:
+        """All fresh bitmaps known for ``collection`` (excluding some neighbours)."""
+        bitmaps = []
+        for (coll, neighbor), record in self._records.items():
+            if coll != collection or neighbor in exclude:
+                continue
+            if record.bitmap is not None and self._fresh(record, now):
+                bitmaps.append(record.bitmap)
+        return bitmaps
+
+    def someone_has_packet(
+        self, collection: str, packet_index: int, now: float, exclude: Set[str] = frozenset()
+    ) -> bool:
+        """Whether some fresh neighbour bitmap shows ``packet_index`` as present."""
+        for (coll, neighbor), record in self._records.items():
+            if coll != collection or neighbor in exclude:
+                continue
+            if record.bitmap is None or not self._fresh(record, now):
+                continue
+            if 0 <= packet_index < record.bitmap.size and record.bitmap.get(packet_index):
+                return True
+        return False
+
+    def data_recently_heard(self, collection: str, now: float, packet_index: Optional[int] = None) -> bool:
+        """Whether Data of ``collection`` (or a specific packet) was heard within the timeout."""
+        key = collection if packet_index is None else f"{collection}#{packet_index}"
+        timestamp = self._recent_data.get(key)
+        if timestamp is None and packet_index is not None:
+            timestamp = self._recent_data.get(collection)
+        return timestamp is not None and now - timestamp <= self.timeout
+
+    def knows_collection(self, collection: str, now: float) -> bool:
+        """Whether anything fresh is known about ``collection``."""
+        if self.data_recently_heard(collection, now):
+            return True
+        return bool(self.neighbors_with_collection(collection, now))
+
+    # ------------------------------------------------------------- housekeeping
+    def prune(self, now: float) -> int:
+        """Remove expired records; returns how many were dropped."""
+        stale = [key for key, record in self._records.items() if not self._fresh(record, now)]
+        for key in stale:
+            del self._records[key]
+        stale_data = [key for key, timestamp in self._recent_data.items() if now - timestamp > self.timeout]
+        for key in stale_data:
+            del self._recent_data[key]
+        return len(stale) + len(stale_data)
+
+    @property
+    def state_size_bytes(self) -> int:
+        """Memory held by the knowledge store (Table I memory proxy)."""
+        total = 0
+        for record in self._records.values():
+            total += 64
+            if record.bitmap is not None:
+                total += record.bitmap.wire_size
+        total += 32 * len(self._recent_data)
+        return total
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,249 @@
+"""Collection metadata and its two encodings (Section IV-C).
+
+The metadata file is generated and signed by the collection producer.  It
+lets peers (i) learn the names of the data packets to request and (ii)
+verify the integrity of each received packet without verifying its
+signature.
+
+Two formats are provided, mirroring Figure 4 of the paper:
+
+* **packet-digest based** — the metadata lists, per file, one
+  ``index/digest`` subname per packet.  Packets can be verified the moment
+  they arrive, but the metadata grows with the collection and may need to be
+  segmented into several network-layer packets.
+* **Merkle-tree based** — the metadata carries one Merkle root per file plus
+  the packet count.  It usually fits in a single packet, but a packet can
+  only be integrity-checked once all packets of its file (and hence the full
+  tree) are available.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.digest import sha256_hex
+from repro.crypto.merkle import MerkleTree
+from repro.ndn.name import Name
+from repro.core.namespace import DapesNamespace
+
+
+class MetadataFormat(str, Enum):
+    """The two metadata encodings of Section IV-C."""
+
+    DIGEST = "digest"
+    MERKLE = "merkle"
+
+
+@dataclass
+class FileMetadata:
+    """Metadata of one file inside a collection."""
+
+    file_name: str
+    packet_count: int
+    packet_digests: List[str] = field(default_factory=list)
+    merkle_root: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.packet_count <= 0:
+            raise ValueError("packet_count must be positive")
+        if self.packet_digests and len(self.packet_digests) != self.packet_count:
+            raise ValueError("packet_digests length must equal packet_count")
+
+
+@dataclass
+class CollectionMetadata:
+    """The full metadata of a file collection."""
+
+    collection: str
+    files: List[FileMetadata]
+    format: MetadataFormat
+    producer: str
+    packet_size: int
+
+    def __post_init__(self) -> None:
+        if not self.files:
+            raise ValueError("a collection needs at least one file")
+        if isinstance(self.format, str):
+            self.format = MetadataFormat(self.format)
+        self._offsets: Dict[str, int] = {}
+        offset = 0
+        for file_meta in self.files:
+            self._offsets[file_meta.file_name] = offset
+            offset += file_meta.packet_count
+        self._total = offset
+
+    # ------------------------------------------------------------ structure
+    @property
+    def collection_name(self) -> Name:
+        return Name([self.collection])
+
+    @property
+    def total_packets(self) -> int:
+        """Total number of packets across every file (bitmap length)."""
+        return self._total
+
+    def file(self, file_name: str) -> FileMetadata:
+        for file_meta in self.files:
+            if file_meta.file_name == file_name:
+                return file_meta
+        raise KeyError(f"no file {file_name!r} in collection {self.collection!r}")
+
+    def global_index(self, file_name: str, sequence: int) -> int:
+        """Bitmap index of packet ``sequence`` of ``file_name`` (Section IV-D ordering)."""
+        file_meta = self.file(file_name)
+        if not 0 <= sequence < file_meta.packet_count:
+            raise IndexError(f"sequence {sequence} out of range for file {file_name!r}")
+        return self._offsets[file_name] + sequence
+
+    def locate(self, global_index: int) -> Tuple[str, int]:
+        """Inverse of :meth:`global_index`: map a bitmap index to (file, sequence)."""
+        if not 0 <= global_index < self._total:
+            raise IndexError(f"global index {global_index} out of range (total {self._total})")
+        for file_meta in self.files:
+            offset = self._offsets[file_meta.file_name]
+            if offset <= global_index < offset + file_meta.packet_count:
+                return file_meta.file_name, global_index - offset
+        raise IndexError(global_index)  # pragma: no cover - unreachable
+
+    def packet_name(self, global_index: int) -> Name:
+        """NDN name of the packet at ``global_index``."""
+        file_name, sequence = self.locate(global_index)
+        return DapesNamespace.packet_name(self.collection, file_name, sequence)
+
+    def packet_index_of(self, name) -> Optional[int]:
+        """Bitmap index of a packet name, or ``None`` if it does not belong here."""
+        parsed = DapesNamespace.parse_packet_name(name)
+        if parsed is None or parsed.collection != self.collection:
+            return None
+        try:
+            return self.global_index(parsed.file_name, parsed.sequence)
+        except (KeyError, IndexError):
+            return None
+
+    # ------------------------------------------------------------- integrity
+    def verify_packet(self, global_index: int, content: bytes) -> Optional[bool]:
+        """Verify one packet's integrity.
+
+        Returns ``True``/``False`` for the digest format.  For the Merkle
+        format per-packet verification is not possible until the whole file
+        is present, so ``None`` ("undecided") is returned — use
+        :meth:`verify_file` once every packet of the file has arrived.
+        """
+        file_name, sequence = self.locate(global_index)
+        file_meta = self.file(file_name)
+        if self.format is MetadataFormat.DIGEST:
+            return sha256_hex(content) == file_meta.packet_digests[sequence]
+        return None
+
+    def verify_file(self, file_name: str, contents: Sequence[bytes]) -> bool:
+        """Verify a whole file's integrity (both formats)."""
+        file_meta = self.file(file_name)
+        if len(contents) != file_meta.packet_count:
+            return False
+        if self.format is MetadataFormat.DIGEST:
+            return all(
+                sha256_hex(content) == digest
+                for content, digest in zip(contents, file_meta.packet_digests)
+            )
+        return MerkleTree.root_of(list(contents)) == file_meta.merkle_root
+
+    # -------------------------------------------------------------- encoding
+    def encode(self) -> bytes:
+        """Serialise the metadata content (the bytes that get signed)."""
+        payload = {
+            "collection": self.collection,
+            "format": self.format.value,
+            "producer": self.producer,
+            "packet_size": self.packet_size,
+            "files": [
+                {
+                    "file_name": file_meta.file_name,
+                    "packet_count": file_meta.packet_count,
+                    "packet_digests": file_meta.packet_digests,
+                    "merkle_root": file_meta.merkle_root,
+                }
+                for file_meta in self.files
+            ],
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "CollectionMetadata":
+        """Inverse of :meth:`encode`."""
+        parsed = json.loads(payload.decode("utf-8"))
+        files = [
+            FileMetadata(
+                file_name=item["file_name"],
+                packet_count=item["packet_count"],
+                packet_digests=item.get("packet_digests") or [],
+                merkle_root=item.get("merkle_root"),
+            )
+            for item in parsed["files"]
+        ]
+        return cls(
+            collection=parsed["collection"],
+            files=files,
+            format=MetadataFormat(parsed["format"]),
+            producer=parsed["producer"],
+            packet_size=parsed["packet_size"],
+        )
+
+    @property
+    def digest(self) -> str:
+        """Digest of the encoded metadata, used in the metadata name."""
+        return sha256_hex(self.encode())[:16]
+
+    @property
+    def wire_size(self) -> int:
+        """Size of the encoded metadata in bytes."""
+        return len(self.encode())
+
+    def name(self, segment: Optional[int] = None) -> Name:
+        """The metadata's NDN name (optionally of one segment)."""
+        return DapesNamespace.metadata_name(self.collection, self.digest, segment)
+
+
+def build_metadata(
+    collection: str,
+    file_packets: Sequence[Tuple[str, Sequence[bytes]]],
+    metadata_format: MetadataFormat | str,
+    producer: str,
+    packet_size: int,
+) -> CollectionMetadata:
+    """Build metadata from the actual packet contents of every file.
+
+    ``file_packets`` is an ordered sequence of ``(file_name, [packet bytes])``
+    pairs; the order defines the bitmap ordering.
+    """
+    metadata_format = MetadataFormat(metadata_format)
+    files: List[FileMetadata] = []
+    for file_name, packets in file_packets:
+        packets = list(packets)
+        if not packets:
+            raise ValueError(f"file {file_name!r} has no packets")
+        if metadata_format is MetadataFormat.DIGEST:
+            files.append(
+                FileMetadata(
+                    file_name=file_name,
+                    packet_count=len(packets),
+                    packet_digests=[sha256_hex(packet) for packet in packets],
+                )
+            )
+        else:
+            files.append(
+                FileMetadata(
+                    file_name=file_name,
+                    packet_count=len(packets),
+                    merkle_root=MerkleTree.root_of(packets),
+                )
+            )
+    return CollectionMetadata(
+        collection=collection,
+        files=files,
+        format=metadata_format,
+        producer=producer,
+        packet_size=packet_size,
+    )

@@ -1,0 +1,144 @@
+"""Factories that wire a complete DAPES node together.
+
+A node consists of a radio attached to the shared wireless medium, an NDN
+forwarder with a broadcast face and an application face, a forwarding
+strategy, and (except for pure forwarders) a DAPES peer application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.keys import KeyPair
+from repro.crypto.trust import TrustAnchorStore
+from repro.ndn.face import AppFace, BroadcastFace
+from repro.ndn.forwarder import Forwarder, ForwarderConfig
+from repro.simulation import Simulator
+from repro.wireless.medium import WirelessMedium
+from repro.wireless.radio import Radio
+from repro.core.config import DapesConfig
+from repro.core.intermediate import DapesForwardingStrategy
+from repro.core.namespace import DapesNamespace
+from repro.core.peer import DapesPeer
+from repro.core.pure_forwarder import PureForwarderNode
+from repro.core.repository import RepositoryPeer
+
+
+@dataclass
+class DapesNode:
+    """A fully assembled DAPES node (radio + forwarder + application)."""
+
+    node_id: str
+    radio: Radio
+    forwarder: Forwarder
+    app_face: AppFace
+    broadcast_face: BroadcastFace
+    strategy: DapesForwardingStrategy
+    peer: DapesPeer
+
+    def start(self) -> None:
+        self.peer.start()
+
+    def stop(self) -> None:
+        self.peer.stop()
+
+    @property
+    def load(self):
+        return self.peer.load
+
+    @property
+    def state_size_bytes(self) -> int:
+        return self.peer.state_size_bytes
+
+
+def build_dapes_peer(
+    sim: Simulator,
+    medium: WirelessMedium,
+    node_id: str,
+    config: Optional[DapesConfig] = None,
+    trust: Optional[TrustAnchorStore] = None,
+    key: Optional[KeyPair] = None,
+    wifi_range: Optional[float] = None,
+    cs_capacity: int = 4096,
+    peer_class: type = DapesPeer,
+) -> DapesNode:
+    """Assemble a DAPES peer node (downloader, producer or intermediate)."""
+    config = config if config is not None else DapesConfig()
+    radio = Radio(sim, medium, node_id, wifi_range=wifi_range)
+    forwarder = Forwarder(sim, node_id, config=ForwarderConfig(cs_capacity=cs_capacity))
+    app_face = forwarder.add_face(AppFace(name=f"app:{node_id}"))
+    broadcast_face = forwarder.add_face(
+        BroadcastFace(
+            radio,
+            protocol="dapes",
+            classify=lambda packet: DapesNamespace.classify(packet.name),
+            name=f"wifi:{node_id}",
+        )
+    )
+    peer = peer_class(
+        sim=sim,
+        node_id=node_id,
+        forwarder=forwarder,
+        app_face=app_face,
+        config=config,
+        key=key,
+        trust=trust,
+    )
+    strategy = DapesForwardingStrategy(
+        peer=peer,
+        knowledge=peer.knowledge,
+        multi_hop=config.multi_hop,
+        forwarding_probability=config.forwarding_probability,
+    )
+    forwarder.set_strategy(strategy)
+    return DapesNode(
+        node_id=node_id,
+        radio=radio,
+        forwarder=forwarder,
+        app_face=app_face,
+        broadcast_face=broadcast_face,
+        strategy=strategy,
+        peer=peer,
+    )
+
+
+def build_repository(
+    sim: Simulator,
+    medium: WirelessMedium,
+    node_id: str,
+    config: Optional[DapesConfig] = None,
+    trust: Optional[TrustAnchorStore] = None,
+    key: Optional[KeyPair] = None,
+    wifi_range: Optional[float] = None,
+    cs_capacity: int = 16384,
+) -> DapesNode:
+    """Assemble a stationary repository node."""
+    return build_dapes_peer(
+        sim,
+        medium,
+        node_id,
+        config=config,
+        trust=trust,
+        key=key,
+        wifi_range=wifi_range,
+        cs_capacity=cs_capacity,
+        peer_class=RepositoryPeer,
+    )
+
+
+def build_pure_forwarder(
+    sim: Simulator,
+    medium: WirelessMedium,
+    node_id: str,
+    forward_probability: float = 0.2,
+    wifi_range: Optional[float] = None,
+) -> PureForwarderNode:
+    """Assemble a pure forwarder (NDN-only) node."""
+    return PureForwarderNode(
+        sim,
+        medium,
+        node_id,
+        forward_probability=forward_probability,
+        wifi_range=wifi_range,
+    )

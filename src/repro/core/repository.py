@@ -1,0 +1,34 @@
+"""Stationary data repositories.
+
+The paper's scenarios deploy "repos" at fixed locations (e.g. a rest area) to
+enhance data availability: they collect every collection they hear about and
+serve it back to passing peers.  A repository is a DAPES peer configured
+with ``interested_in_all=True`` and, typically, a larger content store.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import DapesConfig
+from repro.core.peer import DapesPeer
+
+
+class RepositoryPeer(DapesPeer):
+    """A stationary peer that downloads and serves every collection it discovers."""
+
+    def __init__(self, *args, **kwargs):
+        config: Optional[DapesConfig] = kwargs.get("config")
+        if config is None:
+            config = DapesConfig()
+        kwargs["config"] = config.with_overrides(interested_in_all=True)
+        super().__init__(*args, **kwargs)
+
+    @property
+    def collections_served(self) -> int:
+        """Number of collections the repository currently holds (fully or partially)."""
+        return sum(
+            1
+            for session in self.sessions.values()
+            if session.store is not None and session.store.bitmap.count() > 0
+        )

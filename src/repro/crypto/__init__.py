@@ -1,0 +1,30 @@
+"""Simulated cryptographic primitives.
+
+DAPES relies on NDN's data-centric security: every Data packet is signed by
+its producer, the collection metadata is signed so peers can authenticate the
+collection producer through common local trust anchors, and packet integrity
+is verified either via per-packet digests listed in the metadata or via a
+Merkle tree whose root hash is carried in the metadata.
+
+The paper uses real RSA signatures via ndn-cxx; this reproduction substitutes
+an HMAC-SHA256 based scheme (documented in DESIGN.md).  The substitution
+preserves the semantics the protocol needs — sign/verify, digests, Merkle
+proofs, trust decisions — without external dependencies.
+"""
+
+from repro.crypto.digest import sha256_hex
+from repro.crypto.keys import KeyPair, KeyStore
+from repro.crypto.merkle import MerkleTree
+from repro.crypto.signing import Signature, sign, verify
+from repro.crypto.trust import TrustAnchorStore
+
+__all__ = [
+    "KeyPair",
+    "KeyStore",
+    "MerkleTree",
+    "Signature",
+    "TrustAnchorStore",
+    "sha256_hex",
+    "sign",
+    "verify",
+]

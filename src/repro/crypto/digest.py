@@ -1,0 +1,19 @@
+"""Content digests used for packet integrity verification."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hex-encoded SHA-256 digest of ``data``."""
+    if not isinstance(data, (bytes, bytearray)):
+        raise TypeError(f"expected bytes, got {type(data).__name__}")
+    return hashlib.sha256(bytes(data)).hexdigest()
+
+
+def short_digest(data: bytes, length: int = 8) -> str:
+    """Truncated hex digest, used in compact metadata displays."""
+    if length <= 0:
+        raise ValueError("length must be positive")
+    return sha256_hex(data)[:length]

@@ -1,0 +1,50 @@
+"""Experiment harness: regenerates every figure and table of the paper.
+
+Each experiment module exposes a class with a ``run()`` method returning a
+result object whose ``rows()`` / ``summary()`` methods print the same series
+the paper reports.  The mapping between paper artefacts and modules is:
+
+=============  =============================================  =========================================
+Paper artefact  What it shows                                 Module / class
+=============  =============================================  =========================================
+Fig. 9a        download time vs WiFi range per RPF variant   ``fig9_rpf.RpfStrategyExperiment``
+Fig. 9b        transmissions, RPF variants with/without PEBA  ``fig9_rpf.PebaExperiment``
+Fig. 9c        download time, bitmaps exchanged before data   ``fig9_bitmaps.BitmapsBeforeDataExperiment``
+Fig. 9d        download time, bitmaps interleaved with data   ``fig9_bitmaps.BitmapsInterleavedExperiment``
+Fig. 9e        download time vs number of files               ``fig9_scaling.FileCountExperiment``
+Fig. 9f        download time vs file size                     ``fig9_scaling.FileSizeExperiment``
+Fig. 9g        download time vs forwarding probability        ``fig9_multihop.ForwardingProbabilityExperiment``
+Fig. 9h        transmissions vs forwarding probability        ``fig9_multihop.ForwardingProbabilityExperiment``
+Fig. 10a       download time, DAPES vs Bithoc vs Ekta         ``fig10_comparison.ComparisonExperiment``
+Fig. 10b       transmissions, DAPES vs Bithoc vs Ekta         ``fig10_comparison.ComparisonExperiment``
+Table I        real-world feasibility scenarios               ``table1_feasibility.FeasibilityStudy``
+=============  =============================================  =========================================
+"""
+
+from repro.experiments.fig10_comparison import ComparisonExperiment
+from repro.experiments.fig9_bitmaps import BitmapsBeforeDataExperiment, BitmapsInterleavedExperiment
+from repro.experiments.fig9_multihop import ForwardingProbabilityExperiment
+from repro.experiments.fig9_rpf import PebaExperiment, RpfStrategyExperiment
+from repro.experiments.fig9_scaling import FileCountExperiment, FileSizeExperiment
+from repro.experiments.metrics import RunResult, SweepResult, percentile
+from repro.experiments.runner import run_protocol_trial, run_trials
+from repro.experiments.scenario import ExperimentConfig
+from repro.experiments.table1_feasibility import FeasibilityStudy
+
+__all__ = [
+    "BitmapsBeforeDataExperiment",
+    "BitmapsInterleavedExperiment",
+    "ComparisonExperiment",
+    "ExperimentConfig",
+    "FeasibilityStudy",
+    "FileCountExperiment",
+    "FileSizeExperiment",
+    "ForwardingProbabilityExperiment",
+    "PebaExperiment",
+    "RpfStrategyExperiment",
+    "RunResult",
+    "SweepResult",
+    "percentile",
+    "run_protocol_trial",
+    "run_trials",
+]

@@ -1,0 +1,81 @@
+"""Fig. 9c / Fig. 9d — how many advertisements to exchange, and when.
+
+* :class:`BitmapsBeforeDataExperiment` (Fig. 9c): peers first exchange a
+  fixed number of bitmaps (1-4, or every peer in range) and only then start
+  downloading data.
+* :class:`BitmapsInterleavedExperiment` (Fig. 9d): the same bitmap budgets,
+  but bitmap exchanges are interleaved with data downloading — the setting
+  the paper recommends (16-23 % shorter downloads).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.metrics import SweepResult
+from repro.experiments.runner import run_trials
+from repro.experiments.scenario import ExperimentConfig
+
+DEFAULT_WIFI_RANGES = (20.0, 40.0, 60.0, 80.0, 100.0)
+DEFAULT_BITMAP_BUDGETS = (1, 2, 3, 4, None)  # None == "all bitmaps"
+
+
+def _budget_label(budget) -> str:
+    if budget is None:
+        return "All bitmaps"
+    return f"{budget} bitmap" + ("s" if budget != 1 else "")
+
+
+class _BitmapBudgetExperiment:
+    """Shared sweep over (wifi range x bitmap budget) for one exchange mode."""
+
+    exchange_mode = "before"
+    figure = "Fig. 9c"
+    description = "Bitmaps are exchanged before any data is downloaded."
+
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        wifi_ranges: Sequence[float] = DEFAULT_WIFI_RANGES,
+        bitmap_budgets: Sequence[Optional[int]] = DEFAULT_BITMAP_BUDGETS,
+    ):
+        self.config = config if config is not None else ExperimentConfig.small()
+        self.wifi_ranges = list(wifi_ranges)
+        self.bitmap_budgets = list(bitmap_budgets)
+
+    def run(self) -> SweepResult:
+        result = SweepResult(
+            name=f"{self.figure} — download time vs number of exchanged bitmaps",
+            description=self.description,
+        )
+        for wifi_range in self.wifi_ranges:
+            for budget in self.bitmap_budgets:
+                config = self.config.with_overrides(wifi_range=wifi_range)
+                dapes = config.dapes.with_overrides(
+                    bitmap_exchange=self.exchange_mode, max_bitmaps=budget
+                )
+                point = run_trials(
+                    "dapes",
+                    config,
+                    _budget_label(budget),
+                    parameters={"wifi_range": wifi_range, "max_bitmaps": budget},
+                    dapes_config=dapes,
+                )
+                result.add_point(point)
+        return result
+
+
+class BitmapsBeforeDataExperiment(_BitmapBudgetExperiment):
+    """Fig. 9c: bitmaps first, then data."""
+
+    exchange_mode = "before"
+    figure = "Fig. 9c"
+    description = "Bitmaps are exchanged before any data is downloaded."
+
+
+class BitmapsInterleavedExperiment(_BitmapBudgetExperiment):
+    """Fig. 9d: bitmap exchanges interleaved with data downloading."""
+
+    exchange_mode = "interleaved"
+    figure = "Fig. 9d"
+    description = "Bitmap exchanges are interleaved with data downloading."

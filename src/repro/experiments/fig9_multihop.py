@@ -1,0 +1,65 @@
+"""Fig. 9g / Fig. 9h — the impact of multi-hop forwarding.
+
+One experiment produces both figures: the download time (Fig. 9g) and the
+number of transmissions (Fig. 9h) when intermediate nodes (pure forwarders
+and DAPES nodes with no knowledge about the requested data) forward
+0 % (single-hop), 20 %, 40 % or 60 % of received Interests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.metrics import SweepResult
+from repro.experiments.runner import run_trials
+from repro.experiments.scenario import ExperimentConfig
+
+DEFAULT_WIFI_RANGES = (20.0, 40.0, 60.0, 80.0, 100.0)
+DEFAULT_PROBABILITIES = (None, 0.2, 0.4, 0.6)  # None == single-hop
+
+
+def _probability_label(probability) -> str:
+    if probability is None:
+        return "Single-hop"
+    return f"Multi-hop, forwarding probability={int(probability * 100)}%"
+
+
+class ForwardingProbabilityExperiment:
+    """Figs. 9g and 9h: download time and overhead vs forwarding probability."""
+
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        wifi_ranges: Sequence[float] = DEFAULT_WIFI_RANGES,
+        probabilities: Sequence[Optional[float]] = DEFAULT_PROBABILITIES,
+    ):
+        self.config = config if config is not None else ExperimentConfig.small()
+        self.wifi_ranges = list(wifi_ranges)
+        self.probabilities = list(probabilities)
+
+    def run(self) -> SweepResult:
+        result = SweepResult(
+            name="Fig. 9g/9h — impact of multi-hop forwarding probability",
+            description=(
+                "download_time_s reproduces Fig. 9g; transmissions reproduces Fig. 9h "
+                "for the same sweep."
+            ),
+        )
+        for wifi_range in self.wifi_ranges:
+            for probability in self.probabilities:
+                config = self.config.with_overrides(wifi_range=wifi_range)
+                if probability is None:
+                    dapes = config.dapes.with_overrides(multi_hop=False, forwarding_probability=0.0)
+                else:
+                    dapes = config.dapes.with_overrides(
+                        multi_hop=True, forwarding_probability=probability
+                    )
+                point = run_trials(
+                    "dapes",
+                    config,
+                    _probability_label(probability),
+                    parameters={"wifi_range": wifi_range, "forwarding_probability": probability},
+                    dapes_config=dapes,
+                )
+                result.add_point(point)
+        return result

@@ -1,0 +1,96 @@
+"""Fig. 9a / Fig. 9b — data-fetching strategy and collision mitigation trade-offs.
+
+* :class:`RpfStrategyExperiment` (Fig. 9a): file-collection download time
+  versus WiFi range for the four combinations of {same, random} starting
+  packet and {encounter-based, local-neighborhood} RPF, with peers fetching
+  the bitmaps of every peer in range before downloading data (the setting
+  used for that figure).
+* :class:`PebaExperiment` (Fig. 9b): number of transmissions versus WiFi
+  range for both RPF flavours, with and without PEBA.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments.metrics import SweepResult
+from repro.experiments.runner import run_trials
+from repro.experiments.scenario import ExperimentConfig
+
+DEFAULT_WIFI_RANGES = (20.0, 40.0, 60.0, 80.0, 100.0)
+
+
+class RpfStrategyExperiment:
+    """Fig. 9a: download time for the RPF variants and start-packet policies."""
+
+    VARIANTS = (
+        ("Same packet, encounter-based RPF", {"rpf_strategy": "encounter", "random_start": False}),
+        ("Random packet, encounter-based RPF", {"rpf_strategy": "encounter", "random_start": True}),
+        ("Same packet, local neighborhood RPF", {"rpf_strategy": "local", "random_start": False}),
+        ("Random packet, local neighborhood RPF", {"rpf_strategy": "local", "random_start": True}),
+    )
+
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        wifi_ranges: Sequence[float] = DEFAULT_WIFI_RANGES,
+    ):
+        self.config = config if config is not None else ExperimentConfig.small()
+        self.wifi_ranges = list(wifi_ranges)
+
+    def run(self) -> SweepResult:
+        result = SweepResult(
+            name="Fig. 9a — download time per RPF strategy",
+            description="Peers fetch the bitmaps of all peers in range before downloading data.",
+        )
+        for wifi_range in self.wifi_ranges:
+            for label, overrides in self.VARIANTS:
+                config = self.config.with_overrides(wifi_range=wifi_range)
+                dapes = config.dapes.with_overrides(bitmap_exchange="before", max_bitmaps=None, **overrides)
+                point = run_trials(
+                    "dapes",
+                    config,
+                    label,
+                    parameters={"wifi_range": wifi_range, **overrides},
+                    dapes_config=dapes,
+                )
+                result.add_point(point)
+        return result
+
+
+class PebaExperiment:
+    """Fig. 9b: transmissions for both RPF flavours, with and without PEBA."""
+
+    VARIANTS = (
+        ("Encounter-based RPF (w/o PEBA)", {"rpf_strategy": "encounter", "peba_enabled": False}),
+        ("Local neighborhood RPF (w/o PEBA)", {"rpf_strategy": "local", "peba_enabled": False}),
+        ("Encounter-based RPF (PEBA)", {"rpf_strategy": "encounter", "peba_enabled": True}),
+        ("Local neighborhood RPF (PEBA)", {"rpf_strategy": "local", "peba_enabled": True}),
+    )
+
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        wifi_ranges: Sequence[float] = DEFAULT_WIFI_RANGES,
+    ):
+        self.config = config if config is not None else ExperimentConfig.small()
+        self.wifi_ranges = list(wifi_ranges)
+
+    def run(self) -> SweepResult:
+        result = SweepResult(
+            name="Fig. 9b — transmissions per RPF strategy, with and without PEBA",
+            description="Number of packet transmissions needed to distribute the collection.",
+        )
+        for wifi_range in self.wifi_ranges:
+            for label, overrides in self.VARIANTS:
+                config = self.config.with_overrides(wifi_range=wifi_range)
+                dapes = config.dapes.with_overrides(bitmap_exchange="before", max_bitmaps=None, **overrides)
+                point = run_trials(
+                    "dapes",
+                    config,
+                    label,
+                    parameters={"wifi_range": wifi_range, **overrides},
+                    dapes_config=dapes,
+                )
+                result.add_point(point)
+        return result

@@ -1,0 +1,90 @@
+"""Fig. 9e / Fig. 9f — scaling the collection.
+
+* :class:`FileCountExperiment` (Fig. 9e): download time for a varying number
+  of files per collection (each file of the base size).
+* :class:`FileSizeExperiment` (Fig. 9f): download time for a varying file
+  size (the collection keeps its base number of files).
+
+At paper scale the sweeps are 10-70 files of 1 MB, and 1-15 MB files; the
+benchmark presets sweep the same *ratios* at reduced absolute sizes so the
+curves keep their shape (EXPERIMENTS.md documents the scaling).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.metrics import SweepResult
+from repro.experiments.runner import run_trials
+from repro.experiments.scenario import ExperimentConfig
+
+DEFAULT_WIFI_RANGES = (20.0, 40.0, 60.0, 80.0, 100.0)
+# Multipliers over the base workload, mirroring 10/30/50/70 files and 1/5/10/15 MB.
+DEFAULT_FILE_COUNT_FACTORS = (1, 3, 5, 7)
+DEFAULT_FILE_SIZE_FACTORS = (1, 5, 10, 15)
+
+
+class FileCountExperiment:
+    """Fig. 9e: download time vs number of files in the collection."""
+
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        wifi_ranges: Sequence[float] = DEFAULT_WIFI_RANGES,
+        count_factors: Sequence[int] = DEFAULT_FILE_COUNT_FACTORS,
+    ):
+        self.config = config if config is not None else ExperimentConfig.small()
+        self.wifi_ranges = list(wifi_ranges)
+        self.count_factors = list(count_factors)
+
+    def run(self) -> SweepResult:
+        result = SweepResult(
+            name="Fig. 9e — download time vs number of files",
+            description="Each file keeps the base size; the number of files grows.",
+        )
+        base_files = self.config.num_files
+        for wifi_range in self.wifi_ranges:
+            for factor in self.count_factors:
+                num_files = base_files * factor
+                config = self.config.with_overrides(wifi_range=wifi_range, num_files=num_files)
+                point = run_trials(
+                    "dapes",
+                    config,
+                    f"Number of files={num_files}",
+                    parameters={"wifi_range": wifi_range, "num_files": num_files},
+                )
+                result.add_point(point)
+        return result
+
+
+class FileSizeExperiment:
+    """Fig. 9f: download time vs file size."""
+
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        wifi_ranges: Sequence[float] = DEFAULT_WIFI_RANGES,
+        size_factors: Sequence[int] = DEFAULT_FILE_SIZE_FACTORS,
+    ):
+        self.config = config if config is not None else ExperimentConfig.small()
+        self.wifi_ranges = list(wifi_ranges)
+        self.size_factors = list(size_factors)
+
+    def run(self) -> SweepResult:
+        result = SweepResult(
+            name="Fig. 9f — download time vs file size",
+            description="The collection keeps the base number of files; each file grows.",
+        )
+        base_size = self.config.file_size
+        for wifi_range in self.wifi_ranges:
+            for factor in self.size_factors:
+                file_size = base_size * factor
+                config = self.config.with_overrides(wifi_range=wifi_range, file_size=file_size)
+                point = run_trials(
+                    "dapes",
+                    config,
+                    f"File size factor={factor}x",
+                    parameters={"wifi_range": wifi_range, "file_size": file_size},
+                )
+                result.add_point(point)
+        return result

@@ -1,0 +1,173 @@
+"""Result containers and statistics helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) of ``values`` with linear interpolation.
+
+    The paper reports the 90th percentile of results collected over ten
+    trials; this helper matches numpy's default ("linear") behaviour without
+    requiring numpy at runtime.
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of no values")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100) * (len(ordered) - 1)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return float(ordered[int(rank)])
+    weight = rank - lower
+    return float(ordered[lower] * (1 - weight) + ordered[upper] * weight)
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("cannot take the mean of no values")
+    return sum(values) / len(values)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run (one trial, one parameter point)."""
+
+    protocol: str
+    seed: int
+    parameters: Dict[str, object] = field(default_factory=dict)
+    download_times: Dict[str, float] = field(default_factory=dict)
+    incomplete_nodes: List[str] = field(default_factory=list)
+    transmissions: int = 0
+    transmissions_by_kind: Dict[str, int] = field(default_factory=dict)
+    transmissions_by_protocol: Dict[str, int] = field(default_factory=dict)
+    collisions: int = 0
+    losses: int = 0
+    duration: float = 0.0
+    node_loads: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def mean_download_time(self) -> float:
+        """Average download time across downloaders (incomplete count as the run duration)."""
+        times = list(self.download_times.values())
+        times.extend(self.duration for _ in self.incomplete_nodes)
+        return mean(times) if times else float("nan")
+
+    @property
+    def completion_ratio(self) -> float:
+        total = len(self.download_times) + len(self.incomplete_nodes)
+        return len(self.download_times) / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "seed": self.seed,
+            "parameters": dict(self.parameters),
+            "mean_download_time": self.mean_download_time,
+            "completion_ratio": self.completion_ratio,
+            "transmissions": self.transmissions,
+            "collisions": self.collisions,
+            "losses": self.losses,
+            "duration": self.duration,
+        }
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated result at one parameter point (over all trials)."""
+
+    label: str
+    parameters: Dict[str, object]
+    download_time: float
+    transmissions: float
+    completion_ratio: float
+    trials: int
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        row = {
+            "label": self.label,
+            "download_time_s": round(self.download_time, 2),
+            "transmissions": round(self.transmissions, 1),
+            "completion_ratio": round(self.completion_ratio, 3),
+            "trials": self.trials,
+        }
+        row.update({key: round(value, 3) for key, value in self.extras.items()})
+        row.update(self.parameters)
+        return row
+
+
+@dataclass
+class SweepResult:
+    """A full experiment: a list of aggregated points (one per series/parameter)."""
+
+    name: str
+    description: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def add_point(self, point: SweepPoint) -> None:
+        self.points.append(point)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Rows in the same structure the paper's figures/tables plot."""
+        return [point.as_dict() for point in self.points]
+
+    def series(self, metric: str = "download_time") -> Dict[str, List[float]]:
+        """Group points by label and return the metric series per label."""
+        grouped: Dict[str, List[float]] = {}
+        for point in self.points:
+            value = point.download_time if metric == "download_time" else point.transmissions
+            grouped.setdefault(point.label, []).append(value)
+        return grouped
+
+    def point(self, label: str, **parameters) -> Optional[SweepPoint]:
+        """Find a specific point by label and parameter values."""
+        for candidate in self.points:
+            if candidate.label != label:
+                continue
+            if all(candidate.parameters.get(key) == value for key, value in parameters.items()):
+                return candidate
+        return None
+
+    def summary(self) -> str:
+        """A plain-text table of every point (what the benchmarks print)."""
+        lines = [f"== {self.name} ==", self.description]
+        if not self.points:
+            return "\n".join(lines + ["(no data)"])
+        columns = sorted({key for point in self.points for key in point.as_dict()})
+        header = " | ".join(f"{column:>18}" for column in columns)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for point in self.points:
+            row = point.as_dict()
+            lines.append(" | ".join(f"{str(row.get(column, '')):>18}" for column in columns))
+        return "\n".join(lines)
+
+
+def aggregate_trials(
+    label: str,
+    parameters: Dict[str, object],
+    results: Sequence[RunResult],
+    q: float = 90.0,
+) -> SweepPoint:
+    """Aggregate per-trial results into one sweep point (90th percentile by default)."""
+    if not results:
+        raise ValueError("no trial results to aggregate")
+    download = percentile([result.mean_download_time for result in results], q)
+    transmissions = percentile([float(result.transmissions) for result in results], q)
+    completion = mean([result.completion_ratio for result in results])
+    return SweepPoint(
+        label=label,
+        parameters=dict(parameters),
+        download_time=download,
+        transmissions=transmissions,
+        completion_ratio=completion,
+        trials=len(results),
+    )

@@ -1,0 +1,155 @@
+"""Trial runners: execute one scenario and collect the paper's metrics."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core import DapesConfig
+from repro.experiments.metrics import RunResult, SweepPoint, aggregate_trials
+from repro.experiments.scenario import (
+    ExperimentConfig,
+    build_dapes_scenario,
+    build_ip_scenario,
+)
+
+
+def run_dapes_trial(
+    config: ExperimentConfig,
+    seed: int,
+    dapes_config: Optional[DapesConfig] = None,
+    parameters: Optional[Dict[str, object]] = None,
+) -> RunResult:
+    """Run one DAPES trial and collect download times and overhead."""
+    scenario = build_dapes_scenario(config, seed, dapes_config=dapes_config)
+    sim = scenario.sim
+    expected = len(scenario.downloader_ids)
+    completed: set = set()
+
+    def _on_complete(peer, collection_id, when) -> None:
+        if collection_id != scenario.collection_id:
+            return
+        completed.add(peer.node_id)
+        if len(completed) >= expected:
+            sim.stop()
+
+    for node_id in scenario.downloader_ids:
+        scenario.nodes[node_id].peer.on_collection_complete(_on_complete)
+
+    scenario.start()
+    sim.run(until=config.max_duration)
+
+    download_times: Dict[str, float] = {}
+    incomplete: List[str] = []
+    for node_id in scenario.downloader_ids:
+        elapsed = scenario.nodes[node_id].peer.download_time(scenario.collection_id)
+        if elapsed is None:
+            incomplete.append(node_id)
+        else:
+            download_times[node_id] = elapsed
+
+    node_loads = {
+        node_id: node.peer.load.as_dict() for node_id, node in scenario.nodes.items()
+    }
+    stats = scenario.medium.stats
+    return RunResult(
+        protocol="dapes",
+        seed=seed,
+        parameters=dict(parameters or {}),
+        download_times=download_times,
+        incomplete_nodes=incomplete,
+        transmissions=stats.frames_transmitted,
+        transmissions_by_kind=dict(stats.transmitted_by_kind),
+        transmissions_by_protocol=dict(stats.transmitted_by_protocol),
+        collisions=stats.collisions,
+        losses=stats.losses,
+        duration=sim.now,
+        node_loads=node_loads,
+    )
+
+
+def run_ip_trial(
+    config: ExperimentConfig,
+    seed: int,
+    protocol: str,
+    parameters: Optional[Dict[str, object]] = None,
+) -> RunResult:
+    """Run one Bithoc or Ekta trial and collect the same metrics."""
+    scenario = build_ip_scenario(config, seed, protocol)
+    sim = scenario.sim
+    expected = len(scenario.downloader_ids)
+    completed: set = set()
+
+    def _on_complete(peer, collection_id, when) -> None:
+        completed.add(peer.node_id)
+        if len(completed) >= expected:
+            sim.stop()
+
+    for node_id in scenario.downloader_ids:
+        scenario.peers[node_id].on_complete(_on_complete)
+
+    scenario.start()
+    sim.run(until=config.max_duration)
+
+    download_times: Dict[str, float] = {}
+    incomplete: List[str] = []
+    for node_id in scenario.downloader_ids:
+        elapsed = scenario.peers[node_id].download_time()
+        if elapsed is None:
+            incomplete.append(node_id)
+        else:
+            download_times[node_id] = elapsed
+
+    node_loads = {node_id: peer.load.as_dict() for node_id, peer in scenario.peers.items()}
+    stats = scenario.medium.stats
+    return RunResult(
+        protocol=protocol,
+        seed=seed,
+        parameters=dict(parameters or {}),
+        download_times=download_times,
+        incomplete_nodes=incomplete,
+        transmissions=stats.frames_transmitted,
+        transmissions_by_kind=dict(stats.transmitted_by_kind),
+        transmissions_by_protocol=dict(stats.transmitted_by_protocol),
+        collisions=stats.collisions,
+        losses=stats.losses,
+        duration=sim.now,
+        node_loads=node_loads,
+    )
+
+
+def run_protocol_trial(
+    protocol: str,
+    config: ExperimentConfig,
+    seed: int,
+    dapes_config: Optional[DapesConfig] = None,
+    parameters: Optional[Dict[str, object]] = None,
+) -> RunResult:
+    """Dispatch a single trial by protocol name ('dapes', 'bithoc', 'ekta')."""
+    if protocol == "dapes":
+        return run_dapes_trial(config, seed, dapes_config=dapes_config, parameters=parameters)
+    if protocol in ("bithoc", "ekta"):
+        return run_ip_trial(config, seed, protocol, parameters=parameters)
+    raise ValueError(f"unknown protocol {protocol!r}")
+
+
+def run_trials(
+    protocol: str,
+    config: ExperimentConfig,
+    label: str,
+    parameters: Optional[Dict[str, object]] = None,
+    dapes_config: Optional[DapesConfig] = None,
+) -> SweepPoint:
+    """Run ``config.trials`` trials and aggregate them into one sweep point."""
+    results = []
+    for trial in range(config.trials):
+        seed = config.base_seed + trial * 1009
+        results.append(
+            run_protocol_trial(
+                protocol,
+                config,
+                seed,
+                dapes_config=dapes_config,
+                parameters=parameters,
+            )
+        )
+    return aggregate_trials(label, parameters or {}, results, q=config.percentile)

@@ -1,0 +1,344 @@
+"""Scenario builders: the paper's simulation topology for every protocol.
+
+The simulated topology (Fig. 7) is a 300 m x 300 m area with 4 stationary
+nodes (data repositories) and 40 mobile nodes moving with random direction
+and speed (2-10 m/s).  One mobile node produces the file collection; the
+other 19 mobile downloaders and the 4 stationary nodes download it.  Of the
+remaining 20 mobile nodes, half are pure forwarders and half are
+intermediate nodes that understand the protocol semantics (DAPES nodes not
+interested in the collection, or plain routing forwarders for the IP
+baselines).
+
+:class:`ExperimentConfig` carries both the paper-scale parameters
+(:meth:`ExperimentConfig.paper`) and reduced-scale presets used by the test
+suite and the benchmark harness (:meth:`ExperimentConfig.small`,
+:meth:`ExperimentConfig.tiny`); EXPERIMENTS.md documents the scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.crypto.keys import KeyPair
+from repro.crypto.trust import TrustAnchorStore
+from repro.mobility import CompositeMobility, RandomDirectionMobility, StaticPlacement
+from repro.simulation import Simulator
+from repro.wireless import ChannelConfig, WirelessMedium
+from repro.baselines import DhtKeySpace, SwarmDescriptor, build_bithoc_peer, build_ekta_peer
+from repro.core import (
+    CollectionBuilder,
+    DapesConfig,
+    DapesNode,
+    FileCollection,
+    PureForwarderNode,
+    build_dapes_peer,
+    build_pure_forwarder,
+    build_repository,
+)
+
+PRODUCER_IDENTITY = "/residents/producer"
+COLLECTION_LABEL = "damaged-bridge"
+COLLECTION_TIMESTAMP = 1533783192
+
+
+@dataclass
+class ExperimentConfig:
+    """All knobs of one experiment run."""
+
+    # Topology (paper defaults).
+    area_size: float = 300.0
+    stationary_nodes: int = 4
+    mobile_downloaders: int = 20
+    pure_forwarders: int = 10
+    intermediate_nodes: int = 10
+    min_speed: float = 2.0
+    max_speed: float = 10.0
+    wifi_range: float = 60.0
+    loss_rate: float = 0.10
+
+    # Workload (paper defaults: ten 1 MB files of 1 KB packets).
+    num_files: int = 10
+    file_size: int = 1_000_000
+    packet_size: int = 1024
+
+    # Run control.
+    max_duration: float = 600.0
+    trials: int = 10
+    base_seed: int = 42
+    percentile: float = 90.0
+
+    # DAPES protocol configuration.
+    dapes: DapesConfig = field(default_factory=DapesConfig)
+
+    # ----------------------------------------------------------------- presets
+    @classmethod
+    def paper(cls) -> "ExperimentConfig":
+        """The paper-scale configuration (slow to simulate in pure Python)."""
+        return cls()
+
+    @classmethod
+    def small(cls) -> "ExperimentConfig":
+        """Reduced scale used by the benchmark harness (shape-preserving)."""
+        return cls(
+            stationary_nodes=2,
+            mobile_downloaders=6,
+            pure_forwarders=3,
+            intermediate_nodes=3,
+            num_files=2,
+            file_size=20_000,
+            packet_size=1024,
+            max_duration=400.0,
+            trials=2,
+            area_size=220.0,
+        )
+
+    @classmethod
+    def tiny(cls) -> "ExperimentConfig":
+        """Minimal configuration for fast unit/integration tests."""
+        return cls(
+            stationary_nodes=1,
+            mobile_downloaders=3,
+            pure_forwarders=1,
+            intermediate_nodes=1,
+            num_files=1,
+            file_size=10_000,
+            packet_size=1024,
+            max_duration=240.0,
+            trials=1,
+            area_size=120.0,
+            wifi_range=80.0,
+        )
+
+    def with_overrides(self, **overrides) -> "ExperimentConfig":
+        """Copy with selected fields replaced (``dapes_`` prefixed keys reach the DAPES config)."""
+        dapes_overrides = {
+            key[len("dapes_"):]: value for key, value in overrides.items() if key.startswith("dapes_")
+        }
+        plain = {key: value for key, value in overrides.items() if not key.startswith("dapes_")}
+        config = replace(self, **plain)
+        if dapes_overrides:
+            config = replace(config, dapes=config.dapes.with_overrides(**dapes_overrides))
+        return config
+
+    # --------------------------------------------------------------- derived
+    @property
+    def downloader_count(self) -> int:
+        """Nodes whose download time is measured (producer excluded)."""
+        return self.stationary_nodes + self.mobile_downloaders - 1
+
+    @property
+    def total_packets(self) -> int:
+        per_file = max(1, -(-self.file_size // self.packet_size))
+        return per_file * self.num_files
+
+    def channel(self) -> ChannelConfig:
+        return ChannelConfig(wifi_range=self.wifi_range, loss_rate=self.loss_rate)
+
+
+def _node_names(config: ExperimentConfig) -> Dict[str, List[str]]:
+    """Stable node ids per role."""
+    return {
+        "stationary": [f"repo-{index}" for index in range(config.stationary_nodes)],
+        "downloaders": [f"mobile-{index}" for index in range(config.mobile_downloaders)],
+        "pure": [f"fwd-{index}" for index in range(config.pure_forwarders)],
+        "intermediate": [f"relay-{index}" for index in range(config.intermediate_nodes)],
+    }
+
+
+def _build_mobility(config: ExperimentConfig, sim: Simulator, names: Dict[str, List[str]]) -> CompositeMobility:
+    mobility = CompositeMobility()
+    static = StaticPlacement()
+    # Repositories sit at the four quadrant centres of the area (Fig. 7).
+    anchors = [
+        (config.area_size * 0.25, config.area_size * 0.25),
+        (config.area_size * 0.75, config.area_size * 0.25),
+        (config.area_size * 0.25, config.area_size * 0.75),
+        (config.area_size * 0.75, config.area_size * 0.75),
+    ]
+    for index, node_id in enumerate(names["stationary"]):
+        x, y = anchors[index % len(anchors)]
+        static.place(node_id, x, y)
+        mobility.assign(node_id, static)
+    mobile = RandomDirectionMobility(
+        width=config.area_size,
+        height=config.area_size,
+        min_speed=config.min_speed,
+        max_speed=config.max_speed,
+        rng=sim.rng("mobility"),
+    )
+    for node_id in names["downloaders"] + names["pure"] + names["intermediate"]:
+        mobile.add_node(node_id)
+        mobility.assign(node_id, mobile)
+    return mobility
+
+
+def build_collection(config: ExperimentConfig) -> FileCollection:
+    """The shared file collection (a set of image files, per the paper's use case)."""
+    builder = CollectionBuilder(
+        COLLECTION_LABEL,
+        COLLECTION_TIMESTAMP,
+        packet_size=config.packet_size,
+        producer=PRODUCER_IDENTITY,
+    )
+    for index in range(config.num_files):
+        builder.add_file(f"image-{index:03d}", size_bytes=config.file_size)
+    return builder.build()
+
+
+@dataclass
+class DapesScenario:
+    """A fully wired DAPES simulation ready to run."""
+
+    sim: Simulator
+    medium: WirelessMedium
+    config: ExperimentConfig
+    collection: FileCollection
+    collection_id: str
+    producer_id: str
+    downloader_ids: List[str]
+    nodes: Dict[str, DapesNode]
+    pure_forwarders: Dict[str, PureForwarderNode]
+
+    def start(self) -> None:
+        for node in self.nodes.values():
+            node.start()
+
+    def downloaders(self) -> List[DapesNode]:
+        return [self.nodes[node_id] for node_id in self.downloader_ids]
+
+
+def build_dapes_scenario(
+    config: ExperimentConfig,
+    seed: int,
+    dapes_config: Optional[DapesConfig] = None,
+) -> DapesScenario:
+    """Assemble the Fig. 7 topology with DAPES on every participating node."""
+    dapes_config = dapes_config if dapes_config is not None else config.dapes
+    sim = Simulator(seed=seed)
+    names = _node_names(config)
+    mobility = _build_mobility(config, sim, names)
+    medium = WirelessMedium(sim, mobility, config.channel())
+
+    producer_key = KeyPair.generate(PRODUCER_IDENTITY, seed=b"producer-key")
+    trust = TrustAnchorStore()
+    trust.add_anchor_key(producer_key)
+
+    collection = build_collection(config)
+    collection_id = collection.collection_id
+
+    nodes: Dict[str, DapesNode] = {}
+    pure: Dict[str, PureForwarderNode] = {}
+
+    producer_id = names["downloaders"][0]
+    downloader_ids = names["downloaders"][1:] + names["stationary"]
+
+    # Mobile peers (the producer plus the measured downloaders).
+    for node_id in names["downloaders"]:
+        node = build_dapes_peer(sim, medium, node_id, config=dapes_config, trust=trust,
+                                key=producer_key if node_id == producer_id else None)
+        nodes[node_id] = node
+
+    # Stationary repositories also download the collection of interest.
+    for node_id in names["stationary"]:
+        node = build_dapes_peer(sim, medium, node_id, config=dapes_config, trust=trust, cs_capacity=16384)
+        nodes[node_id] = node
+
+    # Intermediate DAPES nodes: run the application but join nothing.
+    for node_id in names["intermediate"]:
+        nodes[node_id] = build_dapes_peer(sim, medium, node_id, config=dapes_config, trust=trust)
+
+    # Pure forwarders: NDN only.
+    for node_id in names["pure"]:
+        pure[node_id] = build_pure_forwarder(
+            sim, medium, node_id, forward_probability=dapes_config.forwarding_probability
+        )
+
+    metadata = nodes[producer_id].peer.publish_collection(collection)
+    for node_id in downloader_ids:
+        nodes[node_id].peer.join(metadata.collection)
+
+    return DapesScenario(
+        sim=sim,
+        medium=medium,
+        config=config,
+        collection=collection,
+        collection_id=collection_id,
+        producer_id=producer_id,
+        downloader_ids=downloader_ids,
+        nodes=nodes,
+        pure_forwarders=pure,
+    )
+
+
+@dataclass
+class IpScenario:
+    """A fully wired Bithoc or Ekta simulation ready to run."""
+
+    sim: Simulator
+    medium: WirelessMedium
+    config: ExperimentConfig
+    protocol: str
+    descriptor: SwarmDescriptor
+    seed_id: str
+    downloader_ids: List[str]
+    peers: Dict[str, object]
+
+    def start(self) -> None:
+        for peer in self.peers.values():
+            peer.start()
+
+    def downloaders(self) -> List[object]:
+        return [self.peers[node_id] for node_id in self.downloader_ids]
+
+
+def build_ip_scenario(config: ExperimentConfig, seed: int, protocol: str) -> IpScenario:
+    """Assemble the same topology with one of the IP baselines on every node."""
+    if protocol not in ("bithoc", "ekta"):
+        raise ValueError(f"unknown IP baseline {protocol!r}")
+    sim = Simulator(seed=seed)
+    names = _node_names(config)
+    mobility = _build_mobility(config, sim, names)
+    medium = WirelessMedium(sim, mobility, config.channel())
+
+    per_file = max(1, -(-config.file_size // config.packet_size))
+    descriptor = SwarmDescriptor(
+        collection_id=f"{COLLECTION_LABEL}-{COLLECTION_TIMESTAMP}",
+        total_pieces=per_file * config.num_files,
+        piece_size=config.packet_size,
+        files=config.num_files,
+    )
+
+    seed_id = names["downloaders"][0]
+    downloader_ids = names["downloaders"][1:] + names["stationary"]
+    swarm_members = [seed_id] + downloader_ids
+
+    peers: Dict[str, object] = {}
+    keyspace = DhtKeySpace()
+    for node_id in swarm_members:
+        if protocol == "bithoc":
+            peer = build_bithoc_peer(sim, medium, node_id, descriptor, seed_all=(node_id == seed_id))
+        else:
+            peer = build_ekta_peer(sim, medium, node_id, descriptor, keyspace, seed_all=(node_id == seed_id))
+        peers[node_id] = peer
+
+    # The remaining 20 nodes forward packets based on their routing tables.
+    for node_id in names["pure"] + names["intermediate"]:
+        if protocol == "bithoc":
+            build_bithoc_peer(sim, medium, node_id, descriptor, forwarder_only=True)
+        else:
+            build_ekta_peer(sim, medium, node_id, descriptor, keyspace, forwarder_only=True)
+
+    for peer in peers.values():
+        peer.set_swarm(swarm_members)
+
+    return IpScenario(
+        sim=sim,
+        medium=medium,
+        config=config,
+        protocol=protocol,
+        descriptor=descriptor,
+        seed_id=seed_id,
+        downloader_ids=downloader_ids,
+        peers=peers,
+    )

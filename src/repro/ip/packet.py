@@ -1,0 +1,60 @@
+"""IP-like network-layer packets."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_packet_ids = itertools.count(1)
+
+IP_HEADER_BYTES = 20
+UDP_HEADER_BYTES = 8
+TCP_HEADER_BYTES = 20
+
+
+@dataclass
+class IpPacket:
+    """A unicast network-layer packet.
+
+    ``source_route`` is used by DSR: the full hop list travels in the packet
+    header and contributes to its wire size.
+    """
+
+    src: str
+    dst: str
+    protocol: str
+    payload: Any
+    payload_size: int
+    ttl: int = 16
+    kind: str = "ip-data"
+    app_protocol: str = ""
+    source_route: Optional[list[str]] = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.payload_size < 0:
+            raise ValueError("payload_size must be non-negative")
+        if self.ttl <= 0:
+            raise ValueError("ttl must be positive")
+
+    @property
+    def wire_size(self) -> int:
+        """Total on-the-wire size including IP header and any source route."""
+        route_overhead = 4 * len(self.source_route) if self.source_route else 0
+        return IP_HEADER_BYTES + route_overhead + self.payload_size
+
+    def forwarded_copy(self) -> "IpPacket":
+        """Copy with the TTL decremented, used at every forwarding hop."""
+        return IpPacket(
+            src=self.src,
+            dst=self.dst,
+            protocol=self.protocol,
+            payload=self.payload,
+            payload_size=self.payload_size,
+            ttl=self.ttl - 1,
+            kind=self.kind,
+            app_protocol=self.app_protocol,
+            source_route=self.source_route,
+            packet_id=self.packet_id,
+        )

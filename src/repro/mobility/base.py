@@ -1,0 +1,41 @@
+"""Base abstractions shared by all mobility models."""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Position:
+    """A 2-D position in metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+
+class MobilityModel(ABC):
+    """A mobility model answers "where is node ``node_id`` at time ``t``?".
+
+    Implementations must be deterministic: querying the same (node, time)
+    twice returns the same position, and queries may arrive out of time
+    order (the wireless medium asks for sender and receiver positions at the
+    moment a frame is transmitted).
+    """
+
+    @abstractmethod
+    def position(self, node_id: str, time: float) -> Position:
+        """Return the position of ``node_id`` at simulated time ``time``."""
+
+    def distance(self, node_a: str, node_b: str, time: float) -> float:
+        """Distance in metres between two nodes at ``time``."""
+        return self.position(node_a, time).distance_to(self.position(node_b, time))

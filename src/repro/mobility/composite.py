@@ -1,0 +1,34 @@
+"""Composite mobility: different models for different nodes in one scenario.
+
+The paper's topology mixes 4 stationary repositories with 40 mobile nodes;
+the composite model dispatches position queries to the model each node was
+registered with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.mobility.base import MobilityModel, Position
+
+
+class CompositeMobility(MobilityModel):
+    """Routes position queries to the mobility model owning each node."""
+
+    def __init__(self):
+        self._owners: Dict[str, MobilityModel] = {}
+
+    def assign(self, node_id: str, model: MobilityModel) -> None:
+        """Declare that ``node_id``'s positions come from ``model``."""
+        self._owners[node_id] = model
+
+    def position(self, node_id: str, time: float) -> Position:
+        try:
+            model = self._owners[node_id]
+        except KeyError:
+            raise KeyError(f"node {node_id!r} is not assigned to any mobility model") from None
+        return model.position(node_id, time)
+
+    @property
+    def node_ids(self) -> list[str]:
+        return list(self._owners)

@@ -1,0 +1,140 @@
+"""Random-direction mobility, the model used in the paper's simulations.
+
+Each mobile node repeatedly chooses a uniformly random direction in
+[0, 2*pi) and a uniformly random speed in [min_speed, max_speed], then travels
+in a straight line for an *epoch*.  An epoch ends either after a random
+duration or when the node reaches the simulation area boundary, whichever
+happens first; the node then picks a new direction/speed.  Movement is
+clamped inside the area.
+
+The trajectory of each node is generated lazily segment-by-segment, so that a
+position query at any time is answered deterministically regardless of query
+order.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.mobility.base import MobilityModel, Position
+
+
+@dataclass(frozen=True)
+class _Segment:
+    """One straight-line epoch of movement: position is linear in time."""
+
+    start_time: float
+    end_time: float
+    start: Position
+    velocity: Tuple[float, float]
+
+    def position_at(self, time: float) -> Position:
+        elapsed = min(max(time, self.start_time), self.end_time) - self.start_time
+        return Position(
+            self.start.x + self.velocity[0] * elapsed,
+            self.start.y + self.velocity[1] * elapsed,
+        )
+
+
+class RandomDirectionMobility(MobilityModel):
+    """Random-direction movement inside a rectangular area.
+
+    Parameters
+    ----------
+    width, height:
+        Dimensions of the simulation area in metres (paper: 300 x 300).
+    min_speed, max_speed:
+        Speed range in m/s (paper: 2-10 m/s).
+    epoch_duration:
+        Mean duration of an epoch before a new direction is chosen (s).
+    rng:
+        Random source (one of the simulator's named streams).
+    """
+
+    def __init__(
+        self,
+        width: float = 300.0,
+        height: float = 300.0,
+        min_speed: float = 2.0,
+        max_speed: float = 10.0,
+        epoch_duration: float = 20.0,
+        rng: random.Random | None = None,
+    ):
+        if min_speed <= 0 or max_speed < min_speed:
+            raise ValueError("speed range must satisfy 0 < min_speed <= max_speed")
+        self.width = width
+        self.height = height
+        self.min_speed = min_speed
+        self.max_speed = max_speed
+        self.epoch_duration = epoch_duration
+        self._rng = rng if rng is not None else random.Random(0)
+        self._segments: Dict[str, List[_Segment]] = {}
+        self._initial: Dict[str, Position] = {}
+
+    # ----------------------------------------------------------------- setup
+    def add_node(self, node_id: str, initial_position: Position | Tuple[float, float] | None = None) -> None:
+        """Register a mobile node, optionally at a fixed initial position."""
+        if initial_position is None:
+            position = Position(self._rng.uniform(0, self.width), self._rng.uniform(0, self.height))
+        elif isinstance(initial_position, Position):
+            position = initial_position
+        else:
+            position = Position(*initial_position)
+        self._initial[node_id] = position
+        self._segments[node_id] = []
+
+    @property
+    def node_ids(self) -> list[str]:
+        """Ids of all registered nodes."""
+        return list(self._initial)
+
+    # -------------------------------------------------------------- querying
+    def position(self, node_id: str, time: float) -> Position:
+        if node_id not in self._initial:
+            raise KeyError(f"node {node_id!r} is not registered with the mobility model")
+        segments = self._segments[node_id]
+        self._extend_until(node_id, time)
+        # Binary search would work, but trajectories are extended monotonically
+        # and queried near the end; a reverse scan is effectively O(1).
+        for segment in reversed(segments):
+            if segment.start_time <= time:
+                return segment.position_at(time)
+        return self._initial[node_id]
+
+    # -------------------------------------------------------------- internal
+    def _extend_until(self, node_id: str, time: float) -> None:
+        segments = self._segments[node_id]
+        while not segments or segments[-1].end_time < time:
+            if segments:
+                start_time = segments[-1].end_time
+                start = segments[-1].position_at(start_time)
+            else:
+                start_time = 0.0
+                start = self._initial[node_id]
+            segments.append(self._new_segment(start_time, start))
+
+    def _new_segment(self, start_time: float, start: Position) -> _Segment:
+        direction = self._rng.uniform(0, 2 * math.pi)
+        speed = self._rng.uniform(self.min_speed, self.max_speed)
+        duration = self._rng.uniform(0.5 * self.epoch_duration, 1.5 * self.epoch_duration)
+        vx = speed * math.cos(direction)
+        vy = speed * math.sin(direction)
+        # Truncate the epoch at the boundary so the node stays inside the area.
+        duration = min(duration, self._time_to_boundary(start, vx, vy))
+        duration = max(duration, 1e-3)
+        return _Segment(start_time, start_time + duration, start, (vx, vy))
+
+    def _time_to_boundary(self, start: Position, vx: float, vy: float) -> float:
+        times = [float("inf")]
+        if vx > 0:
+            times.append((self.width - start.x) / vx)
+        elif vx < 0:
+            times.append(-start.x / vx)
+        if vy > 0:
+            times.append((self.height - start.y) / vy)
+        elif vy < 0:
+            times.append(-start.y / vy)
+        return max(min(times), 0.0)

@@ -1,0 +1,46 @@
+"""Static node placement (stationary repositories, fixed topologies)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.mobility.base import MobilityModel, Position
+
+
+class StaticPlacement(MobilityModel):
+    """Nodes that never move.
+
+    Parameters
+    ----------
+    positions:
+        Mapping from node id to ``(x, y)`` coordinates in metres.
+    """
+
+    def __init__(self, positions: Mapping[str, Tuple[float, float]] | None = None):
+        self._positions: Dict[str, Position] = {}
+        if positions:
+            for node_id, (x, y) in positions.items():
+                self._positions[node_id] = Position(x, y)
+
+    def place(self, node_id: str, x: float, y: float) -> None:
+        """Place (or move) a node at a fixed position."""
+        self._positions[node_id] = Position(x, y)
+
+    def place_grid(self, node_ids: Iterable[str], width: float, height: float, spacing: float) -> None:
+        """Place nodes on a regular grid covering ``width`` x ``height`` metres."""
+        node_ids = list(node_ids)
+        columns = max(int(width // spacing), 1)
+        for index, node_id in enumerate(node_ids):
+            row, col = divmod(index, columns)
+            self.place(node_id, min(col * spacing, width), min(row * spacing, height))
+
+    def position(self, node_id: str, time: float) -> Position:
+        try:
+            return self._positions[node_id]
+        except KeyError:
+            raise KeyError(f"node {node_id!r} has no static position") from None
+
+    @property
+    def node_ids(self) -> list[str]:
+        """Ids of all placed nodes."""
+        return list(self._positions)

@@ -1,0 +1,78 @@
+"""Forwarding Information Base (FIB) with longest-prefix-match lookup."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.ndn.name import Name, NameLike
+
+
+@dataclass(frozen=True)
+class FibNextHop:
+    """One next hop for a prefix."""
+
+    face_id: int
+    cost: int = 0
+
+
+class Fib:
+    """Prefix → next-hop table.
+
+    In the ad-hoc scenarios of the paper there is usually a single broadcast
+    face and the FIB holds application prefixes (``/dapes``, collection
+    prefixes) pointing at it; the general LPM structure is still provided so
+    the stack also works in wired/infrastructure topologies (e.g. the
+    repository examples).
+    """
+
+    def __init__(self):
+        self._entries: Dict[Name, List[FibNextHop]] = {}
+
+    def insert(self, prefix: NameLike, face_id: int, cost: int = 0) -> None:
+        """Add a next hop for ``prefix`` (idempotent per (prefix, face))."""
+        prefix = Name(prefix)
+        hops = self._entries.setdefault(prefix, [])
+        for existing in hops:
+            if existing.face_id == face_id:
+                hops.remove(existing)
+                break
+        hops.append(FibNextHop(face_id=face_id, cost=cost))
+        hops.sort(key=lambda hop: hop.cost)
+
+    def remove(self, prefix: NameLike, face_id: Optional[int] = None) -> None:
+        """Remove a prefix entirely, or just one of its next hops."""
+        prefix = Name(prefix)
+        if face_id is None:
+            self._entries.pop(prefix, None)
+            return
+        hops = self._entries.get(prefix)
+        if not hops:
+            return
+        remaining = [hop for hop in hops if hop.face_id != face_id]
+        if remaining:
+            self._entries[prefix] = remaining
+        else:
+            self._entries.pop(prefix, None)
+
+    def longest_prefix_match(self, name: NameLike) -> List[FibNextHop]:
+        """Next hops of the longest registered prefix of ``name`` (may be empty)."""
+        name = Name(name)
+        best: Optional[Name] = None
+        for prefix in self._entries:
+            if prefix.is_prefix_of(name) and (best is None or len(prefix) > len(best)):
+                best = prefix
+        if best is None:
+            return []
+        return list(self._entries[best])
+
+    def prefixes(self) -> List[Name]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate memory held by FIB state."""
+        return sum(prefix.wire_size + 12 * len(hops) for prefix, hops in self._entries.items())

@@ -1,0 +1,113 @@
+"""Hierarchical NDN names.
+
+A name is an ordered list of components, written ``/component1/component2/...``.
+Names are semantically meaningful and independent of node location — the
+property DAPES builds its whole design on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+NameLike = Union["Name", str, Sequence[str]]
+
+
+class Name:
+    """An immutable hierarchical name.
+
+    Examples
+    --------
+    >>> name = Name("/damaged-bridge-1533783192/bridge-picture/0")
+    >>> name.components
+    ('damaged-bridge-1533783192', 'bridge-picture', '0')
+    >>> Name("/damaged-bridge-1533783192").is_prefix_of(name)
+    True
+    >>> name[-1]
+    '0'
+    """
+
+    __slots__ = ("_components", "_str")
+
+    def __init__(self, value: NameLike = ()):  # noqa: D107 - documented at class level
+        if isinstance(value, Name):
+            components: tuple[str, ...] = value._components
+        elif isinstance(value, str):
+            components = tuple(part for part in value.split("/") if part)
+        else:
+            components = tuple(str(part) for part in value)
+        for component in components:
+            if "/" in component:
+                raise ValueError(f"name component {component!r} must not contain '/'")
+        self._components = components
+        self._str = "/" + "/".join(components) if components else "/"
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def components(self) -> tuple[str, ...]:
+        return self._components
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __getitem__(self, index):
+        return self._components[index]
+
+    def __iter__(self):
+        return iter(self._components)
+
+    def __str__(self) -> str:
+        return self._str
+
+    def __repr__(self) -> str:
+        return f"Name({self._str!r})"
+
+    def __hash__(self) -> int:
+        return hash(self._components)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Name):
+            return self._components == other._components
+        if isinstance(other, str):
+            return self._str == str(Name(other))
+        return NotImplemented
+
+    def __lt__(self, other: "Name") -> bool:
+        return self._components < Name(other)._components
+
+    # ------------------------------------------------------------ operations
+    def append(self, *components: str) -> "Name":
+        """Return a new name with ``components`` appended."""
+        extra: list[str] = []
+        for component in components:
+            extra.extend(part for part in str(component).split("/") if part)
+        return Name(self._components + tuple(extra))
+
+    def prefix(self, length: int) -> "Name":
+        """Return the first ``length`` components as a new name."""
+        return Name(self._components[:length])
+
+    def parent(self) -> "Name":
+        """The name with the last component removed."""
+        if not self._components:
+            raise ValueError("the root name has no parent")
+        return Name(self._components[:-1])
+
+    def is_prefix_of(self, other: NameLike) -> bool:
+        """Whether this name is a (non-strict) prefix of ``other``."""
+        other = Name(other)
+        if len(self) > len(other):
+            return False
+        return other._components[: len(self)] == self._components
+
+    @property
+    def wire_size(self) -> int:
+        """Approximate encoded size in bytes (component TLVs plus name TLV)."""
+        return sum(len(component.encode("utf-8")) + 2 for component in self._components) + 2
+
+    @staticmethod
+    def join(parts: Iterable[NameLike]) -> "Name":
+        """Concatenate several name-like parts into one name."""
+        result = Name()
+        for part in parts:
+            result = result.append(*Name(part).components)
+        return result

@@ -1,0 +1,111 @@
+"""NDN network-layer packets: Interest and Data."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.crypto.signing import Signature
+from repro.ndn.name import Name, NameLike
+
+_nonce_counter = itertools.count(1)
+
+DEFAULT_INTEREST_LIFETIME = 4.0
+DEFAULT_FRESHNESS_PERIOD = 3600.0
+
+
+def _new_nonce() -> int:
+    """Globally unique nonce (uniqueness is what loop detection needs)."""
+    return next(_nonce_counter)
+
+
+@dataclass
+class Interest:
+    """A request for a named Data packet.
+
+    ``application_parameters`` carries opaque application payload; DAPES uses
+    it for the sender's bitmap inside bitmap Interests.
+    """
+
+    name: Name
+    nonce: int = field(default_factory=_new_nonce)
+    lifetime: float = DEFAULT_INTEREST_LIFETIME
+    can_be_prefix: bool = False
+    hop_limit: int = 16
+    application_parameters: Any = None
+    application_parameters_size: int = 0
+
+    def __post_init__(self) -> None:
+        self.name = Name(self.name)
+        if self.lifetime <= 0:
+            raise ValueError("Interest lifetime must be positive")
+        if self.hop_limit < 0:
+            # Zero is allowed: it denotes an Interest whose hop budget is
+            # exhausted, which forwarders drop rather than refuse to parse.
+            raise ValueError("hop_limit must be non-negative")
+
+    @property
+    def wire_size(self) -> int:
+        """Approximate encoded size in bytes."""
+        base = self.name.wire_size + 4 + 2 + 1 + 8  # nonce, lifetime, hop limit, TLV overhead
+        return base + max(self.application_parameters_size, 0)
+
+    def clone_for_forwarding(self) -> "Interest":
+        """Copy used when an intermediate node forwards the Interest (hop limit decremented)."""
+        return Interest(
+            name=self.name,
+            nonce=self.nonce,
+            lifetime=self.lifetime,
+            can_be_prefix=self.can_be_prefix,
+            hop_limit=self.hop_limit - 1,
+            application_parameters=self.application_parameters,
+            application_parameters_size=self.application_parameters_size,
+        )
+
+    def matches(self, data: "Data") -> bool:
+        """Whether ``data`` satisfies this Interest."""
+        if self.can_be_prefix:
+            return self.name.is_prefix_of(data.name)
+        return self.name == data.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Interest({self.name}, nonce={self.nonce})"
+
+
+@dataclass
+class Data:
+    """A named, signed unit of content."""
+
+    name: Name
+    content: bytes = b""
+    signature: Optional[Signature] = None
+    freshness_period: float = DEFAULT_FRESHNESS_PERIOD
+    content_size_override: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.name = Name(self.name)
+        if not isinstance(self.content, (bytes, bytearray)):
+            raise TypeError("Data content must be bytes")
+        self.content = bytes(self.content)
+
+    @property
+    def content_size(self) -> int:
+        """Size of the content in bytes.
+
+        ``content_size_override`` lets large payloads (e.g. 1 KB file
+        segments) be *modelled* without materialising the bytes, which keeps
+        large simulations cheap while preserving wire-size accounting.
+        """
+        if self.content_size_override is not None:
+            return self.content_size_override
+        return len(self.content)
+
+    @property
+    def wire_size(self) -> int:
+        """Approximate encoded size in bytes."""
+        signature_size = self.signature.size_bytes if self.signature else 0
+        return self.name.wire_size + self.content_size + signature_size + 12
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Data({self.name}, {self.content_size}B)"

@@ -1,0 +1,195 @@
+"""A minimal TLV (type-length-value) wire encoding for Interest and Data.
+
+The simulator passes packet objects around directly for speed, but a real
+deployment needs a wire format; this module provides one compatible in
+spirit with the NDN packet format (types differ).  It is exercised by the
+test suite (round-trip properties) and by the examples to show what actually
+goes on the air.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Tuple
+
+from repro.crypto.signing import Signature
+from repro.ndn.name import Name
+from repro.ndn.packet import Data, Interest
+
+# TLV type numbers (local to this reproduction).
+TYPE_INTEREST = 0x05
+TYPE_DATA = 0x06
+TYPE_NAME = 0x07
+TYPE_COMPONENT = 0x08
+TYPE_NONCE = 0x0A
+TYPE_LIFETIME = 0x0C
+TYPE_HOP_LIMIT = 0x22
+TYPE_CAN_BE_PREFIX = 0x21
+TYPE_APP_PARAMS = 0x24
+TYPE_CONTENT = 0x15
+TYPE_FRESHNESS = 0x25
+TYPE_SIGNATURE = 0x16
+TYPE_SIG_SIGNER = 0x17
+TYPE_SIG_KEY = 0x18
+TYPE_SIG_VALUE = 0x19
+
+
+class TlvError(ValueError):
+    """Raised when decoding malformed TLV bytes."""
+
+
+def encode_tlv(type_number: int, value: bytes) -> bytes:
+    """Encode one TLV element with a variable-length length field."""
+    length = len(value)
+    if length < 253:
+        length_bytes = bytes([length])
+    elif length <= 0xFFFF:
+        length_bytes = b"\xfd" + struct.pack(">H", length)
+    else:
+        length_bytes = b"\xfe" + struct.pack(">I", length)
+    return bytes([type_number]) + length_bytes + value
+
+
+def decode_tlv(buffer: bytes, offset: int = 0) -> Tuple[int, bytes, int]:
+    """Decode one TLV element; returns (type, value, next_offset)."""
+    if offset >= len(buffer):
+        raise TlvError("buffer exhausted while reading TLV type")
+    type_number = buffer[offset]
+    offset += 1
+    if offset >= len(buffer):
+        raise TlvError("buffer exhausted while reading TLV length")
+    first = buffer[offset]
+    offset += 1
+    if first < 253:
+        length = first
+    elif first == 0xFD:
+        length = struct.unpack(">H", buffer[offset:offset + 2])[0]
+        offset += 2
+    elif first == 0xFE:
+        length = struct.unpack(">I", buffer[offset:offset + 4])[0]
+        offset += 4
+    else:
+        raise TlvError(f"unsupported length prefix {first:#x}")
+    end = offset + length
+    if end > len(buffer):
+        raise TlvError("TLV length exceeds buffer size")
+    return type_number, buffer[offset:end], end
+
+
+def _iter_tlvs(buffer: bytes):
+    offset = 0
+    while offset < len(buffer):
+        type_number, value, offset = decode_tlv(buffer, offset)
+        yield type_number, value
+
+
+# ---------------------------------------------------------------------- names
+def encode_name(name: Name) -> bytes:
+    inner = b"".join(encode_tlv(TYPE_COMPONENT, component.encode("utf-8")) for component in name)
+    return encode_tlv(TYPE_NAME, inner)
+
+
+def decode_name(value: bytes) -> Name:
+    components = []
+    for type_number, component in _iter_tlvs(value):
+        if type_number != TYPE_COMPONENT:
+            raise TlvError(f"unexpected TLV type {type_number:#x} inside Name")
+        components.append(component.decode("utf-8"))
+    return Name(components)
+
+
+# ------------------------------------------------------------------- interest
+def encode_interest(interest: Interest) -> bytes:
+    parts = [encode_name(interest.name)]
+    parts.append(encode_tlv(TYPE_NONCE, struct.pack(">Q", interest.nonce)))
+    parts.append(encode_tlv(TYPE_LIFETIME, struct.pack(">d", interest.lifetime)))
+    parts.append(encode_tlv(TYPE_HOP_LIMIT, bytes([interest.hop_limit & 0xFF])))
+    if interest.can_be_prefix:
+        parts.append(encode_tlv(TYPE_CAN_BE_PREFIX, b""))
+    if isinstance(interest.application_parameters, (bytes, bytearray)):
+        parts.append(encode_tlv(TYPE_APP_PARAMS, bytes(interest.application_parameters)))
+    return encode_tlv(TYPE_INTEREST, b"".join(parts))
+
+
+def decode_interest(buffer: bytes) -> Interest:
+    type_number, value, _ = decode_tlv(buffer)
+    if type_number != TYPE_INTEREST:
+        raise TlvError(f"expected Interest TLV, got type {type_number:#x}")
+    name: Optional[Name] = None
+    nonce = 0
+    lifetime = 4.0
+    hop_limit = 16
+    can_be_prefix = False
+    app_params: Optional[bytes] = None
+    for inner_type, inner_value in _iter_tlvs(value):
+        if inner_type == TYPE_NAME:
+            name = decode_name(inner_value)
+        elif inner_type == TYPE_NONCE:
+            nonce = struct.unpack(">Q", inner_value)[0]
+        elif inner_type == TYPE_LIFETIME:
+            lifetime = struct.unpack(">d", inner_value)[0]
+        elif inner_type == TYPE_HOP_LIMIT:
+            hop_limit = inner_value[0]
+        elif inner_type == TYPE_CAN_BE_PREFIX:
+            can_be_prefix = True
+        elif inner_type == TYPE_APP_PARAMS:
+            app_params = inner_value
+    if name is None:
+        raise TlvError("Interest TLV has no Name")
+    interest = Interest(
+        name=name,
+        nonce=nonce,
+        lifetime=lifetime,
+        can_be_prefix=can_be_prefix,
+        hop_limit=hop_limit,
+        application_parameters=app_params,
+        application_parameters_size=len(app_params) if app_params else 0,
+    )
+    return interest
+
+
+# ----------------------------------------------------------------------- data
+def encode_data(data: Data) -> bytes:
+    parts = [encode_name(data.name)]
+    parts.append(encode_tlv(TYPE_CONTENT, data.content))
+    parts.append(encode_tlv(TYPE_FRESHNESS, struct.pack(">d", data.freshness_period)))
+    if data.signature is not None:
+        signature_inner = b"".join(
+            [
+                encode_tlv(TYPE_SIG_SIGNER, data.signature.signer.encode("utf-8")),
+                encode_tlv(TYPE_SIG_KEY, data.signature.public_key.encode("ascii")),
+                encode_tlv(TYPE_SIG_VALUE, data.signature.value.encode("ascii")),
+            ]
+        )
+        parts.append(encode_tlv(TYPE_SIGNATURE, signature_inner))
+    return encode_tlv(TYPE_DATA, b"".join(parts))
+
+
+def decode_data(buffer: bytes) -> Data:
+    type_number, value, _ = decode_tlv(buffer)
+    if type_number != TYPE_DATA:
+        raise TlvError(f"expected Data TLV, got type {type_number:#x}")
+    name: Optional[Name] = None
+    content = b""
+    freshness = 3600.0
+    signature: Optional[Signature] = None
+    for inner_type, inner_value in _iter_tlvs(value):
+        if inner_type == TYPE_NAME:
+            name = decode_name(inner_value)
+        elif inner_type == TYPE_CONTENT:
+            content = inner_value
+        elif inner_type == TYPE_FRESHNESS:
+            freshness = struct.unpack(">d", inner_value)[0]
+        elif inner_type == TYPE_SIGNATURE:
+            signer = key = sig_value = ""
+            for sig_type, sig_bytes in _iter_tlvs(inner_value):
+                if sig_type == TYPE_SIG_SIGNER:
+                    signer = sig_bytes.decode("utf-8")
+                elif sig_type == TYPE_SIG_KEY:
+                    key = sig_bytes.decode("ascii")
+                elif sig_type == TYPE_SIG_VALUE:
+                    sig_value = sig_bytes.decode("ascii")
+            signature = Signature(signer=signer, public_key=key, value=sig_value)
+    if name is None:
+        raise TlvError("Data TLV has no Name")
+    return Data(name=name, content=content, signature=signature, freshness_period=freshness)

@@ -1,0 +1,169 @@
+"""Core discrete-event simulation engine.
+
+The engine maintains a priority queue of timestamped events.  Each event is a
+callback plus its arguments.  Events scheduled for the same timestamp execute
+in the order they were scheduled (FIFO), which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.simulation.random_streams import RandomStreams
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation engine."""
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    sequence: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """Handle to a scheduled event, usable to cancel it.
+
+    A handle becomes inactive once the event has fired or been cancelled.
+    """
+
+    __slots__ = ("callback", "args", "kwargs", "time", "cancelled", "fired")
+
+    def __init__(self, time: float, callback: Callable[..., Any], args: tuple, kwargs: dict):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = False
+        self.fired = False
+
+    @property
+    def active(self) -> bool:
+        """Whether the event is still pending (not cancelled, not fired)."""
+        return not self.cancelled and not self.fired
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already fired."""
+        if not self.fired:
+            self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.fired else ("cancelled" if self.cancelled else "pending")
+        return f"<EventHandle t={self.time:.6f} {state} {getattr(self.callback, '__name__', self.callback)}>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Base seed for all named random streams (see :class:`RandomStreams`).
+
+    Example
+    -------
+    >>> sim = Simulator(seed=1)
+    >>> fired = []
+    >>> _ = sim.schedule(2.0, fired.append, "a")
+    >>> _ = sim.schedule(1.0, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    """
+
+    def __init__(self, seed: int = 0):
+        self._queue: list[_QueueEntry] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+        self.seed = seed
+        self.streams = RandomStreams(seed)
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------ scheduling
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> EventHandle:
+        """Schedule ``callback(*args, **kwargs)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args, **kwargs)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at {time}, which is before now ({self._now})"
+            )
+        handle = EventHandle(time, callback, args, kwargs)
+        entry = _QueueEntry(time=time, sequence=next(self._sequence), handle=handle)
+        heapq.heappush(self._queue, entry)
+        return handle
+
+    def cancel(self, handle: Optional[EventHandle]) -> None:
+        """Cancel a previously scheduled event (safe to pass ``None``)."""
+        if handle is not None:
+            handle.cancel()
+
+    # --------------------------------------------------------------- running
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` is reached, or ``max_events`` fire.
+
+        ``until`` is inclusive: events scheduled exactly at ``until`` execute.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while self._queue:
+                if self._stopped:
+                    break
+                entry = self._queue[0]
+                if until is not None and entry.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                handle = entry.handle
+                if handle.cancelled:
+                    continue
+                self._now = entry.time
+                handle.fired = True
+                handle.callback(*handle.args, **handle.kwargs)
+                self.events_processed += 1
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop the run loop after the currently executing event returns."""
+        self._stopped = True
+
+    # ------------------------------------------------------------- utilities
+    def rng(self, name: str):
+        """Return the named deterministic random stream."""
+        return self.streams.get(name)
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled entries)."""
+        return sum(1 for entry in self._queue if entry.handle.active)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.3f} pending={self.pending_events} processed={self.events_processed}>"

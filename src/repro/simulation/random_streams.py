@@ -1,0 +1,37 @@
+"""Named deterministic random streams.
+
+Each consumer of randomness (mobility model, MAC timers, loss process, PEBA,
+application jitter, ...) asks for a stream by name.  Streams are seeded from
+the base seed and the stream name, so two runs with the same seed produce the
+same behaviour even if unrelated components are added or removed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RandomStreams:
+    """Factory and registry of named :class:`random.Random` instances."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def get(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it deterministically if needed."""
+        stream = self._streams.get(name)
+        if stream is None:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode("utf-8")).digest()
+            stream_seed = int.from_bytes(digest[:8], "big")
+            stream = random.Random(stream_seed)
+            self._streams[name] = stream
+        return stream
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams
+
+    def __len__(self) -> int:
+        return len(self._streams)

@@ -1,0 +1,108 @@
+"""Timer helpers built on top of the simulation engine.
+
+Protocol code uses these instead of scheduling raw events so that restart /
+cancel semantics are uniform (e.g. DAPES discovery timers, PEBA slot timers,
+suppression timers, TCP retransmission timers).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.simulation.engine import EventHandle, Simulator
+
+
+class Timer:
+    """A single-shot, restartable timer.
+
+    The callback is invoked once when the timer expires.  Calling
+    :meth:`start` while the timer is running restarts it with the new delay.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[..., Any]):
+        self._sim = sim
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer is currently armed."""
+        return self._handle is not None and self._handle.active
+
+    @property
+    def expiry(self) -> Optional[float]:
+        """Absolute expiry time, or ``None`` if not running."""
+        if self.running:
+            return self._handle.time
+        return None
+
+    def start(self, delay: float, *args: Any, **kwargs: Any) -> None:
+        """Arm (or re-arm) the timer to fire ``delay`` seconds from now."""
+        self.cancel()
+        self._handle = self._sim.schedule(delay, self._fire, args, kwargs)
+
+    def cancel(self) -> None:
+        """Disarm the timer if armed."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self, args: tuple, kwargs: dict) -> None:
+        self._handle = None
+        self._callback(*args, **kwargs)
+
+
+class PeriodicTimer:
+    """A timer that re-arms itself after every expiry.
+
+    The period may be provided as a constant or as a zero-argument callable,
+    which lets protocols adapt their period over time (e.g. DAPES discovery
+    Interests are sent more frequently when neighbours have recently been
+    encountered).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        callback: Callable[[], Any],
+        period: float | Callable[[], float],
+        jitter: float = 0.0,
+        rng=None,
+    ):
+        self._sim = sim
+        self._callback = callback
+        self._period = period
+        self._jitter = jitter
+        self._rng = rng
+        self._handle: Optional[EventHandle] = None
+        self._stopped = True
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def _next_delay(self) -> float:
+        period = self._period() if callable(self._period) else self._period
+        if self._jitter and self._rng is not None:
+            period += self._rng.uniform(-self._jitter, self._jitter)
+        return max(period, 0.0)
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Start firing periodically; ``initial_delay`` defaults to one period."""
+        self._stopped = False
+        delay = self._next_delay() if initial_delay is None else initial_delay
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        """Stop the periodic firing."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._handle = self._sim.schedule(self._next_delay(), self._fire)

@@ -1,0 +1,46 @@
+"""Channel configuration for the wireless medium."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ChannelConfig:
+    """Parameters of the shared wireless channel.
+
+    Defaults follow the paper's simulation setup: IEEE 802.11b at 11 Mb/s,
+    10 % loss rate and a WiFi range swept from 20 m to 100 m.
+
+    Attributes
+    ----------
+    data_rate_bps:
+        Channel bit rate in bits per second.
+    wifi_range:
+        Communication range in metres (unit-disk model).
+    loss_rate:
+        Independent probability that a frame is lost at a given receiver,
+        applied after collision detection.
+    per_frame_overhead_s:
+        Fixed per-frame airtime overhead approximating the 802.11b PLCP
+        preamble/header and MAC framing.
+    """
+
+    data_rate_bps: float = 11_000_000.0
+    wifi_range: float = 60.0
+    loss_rate: float = 0.10
+    per_frame_overhead_s: float = 0.000192
+
+    def __post_init__(self) -> None:
+        if self.data_rate_bps <= 0:
+            raise ValueError("data_rate_bps must be positive")
+        if self.wifi_range <= 0:
+            raise ValueError("wifi_range must be positive")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if self.per_frame_overhead_s < 0:
+            raise ValueError("per_frame_overhead_s must be non-negative")
+
+    def airtime(self, size_bytes: int) -> float:
+        """Airtime in seconds for a frame of ``size_bytes``."""
+        return self.per_frame_overhead_s + (size_bytes * 8) / self.data_rate_bps

@@ -1,0 +1,43 @@
+"""Link-layer frames carried by the wireless medium."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_frame_ids = itertools.count(1)
+
+
+@dataclass
+class Frame:
+    """A link-layer frame.
+
+    ``payload`` carries whichever protocol object is being transmitted (an
+    NDN Interest/Data, an IP packet, a routing update...).  ``destination``
+    is a link-layer destination node id; ``None`` means link-layer broadcast.
+    Even unicast frames are physically heard by every node in range — the
+    receiving radio decides whether the frame is addressed to it or merely
+    overheard, which is what lets DAPES intermediate nodes learn from
+    overheard traffic.
+
+    ``kind`` and ``protocol`` are free-form labels used only for accounting
+    (the paper's per-protocol overhead breakdown).
+    """
+
+    sender: str
+    payload: Any
+    size_bytes: int
+    kind: str
+    protocol: str = ""
+    destination: Optional[str] = None
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+
+    @property
+    def is_broadcast(self) -> bool:
+        """Whether the frame is a link-layer broadcast."""
+        return self.destination is None

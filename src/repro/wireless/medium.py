@@ -1,0 +1,222 @@
+"""The shared broadcast wireless medium.
+
+A transmission by one radio is delivered, after its airtime, to every other
+radio within ``wifi_range`` of the sender at the moment the transmission
+starts.  Two receptions that overlap in time at the same receiver corrupt
+each other (both are dropped at that receiver), which is how the paper's
+collision effects — and the benefit of PEBA — arise.  An independent
+Bernoulli loss is applied on top.
+
+Three MAC-level realities are modelled explicitly because the protocols under
+study depend on them:
+
+* **per-sender serialization** — a node cannot transmit two frames at once;
+  frames handed to the medium while the node is already transmitting are
+  queued and sent back-to-back (plus a short inter-frame space), exactly
+  like an 802.11 interface queue;
+* **half-duplex operation** — a node that is transmitting cannot
+  simultaneously receive; receptions overlapping its own transmissions are
+  lost at that node;
+* **carrier sensing (CSMA)** — a node defers its transmission (with a small
+  random backoff) while it can hear another transmission in progress, up to
+  a bounded number of deferrals.  Hidden terminals still collide, as in real
+  802.11 ad-hoc networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.mobility.base import MobilityModel
+from repro.simulation import Simulator
+from repro.wireless.channel import ChannelConfig
+from repro.wireless.frames import Frame
+from repro.wireless.stats import MediumStats
+
+INTER_FRAME_SPACE = 0.00005  # 50 us, approximates DIFS + MAC processing
+MAX_CSMA_DEFERRALS = 16      # give up sensing and transmit anyway after this many deferrals
+UNICAST_RETRY_LIMIT = 3      # 802.11 link-layer ARQ retries for unicast frames
+UNICAST_RETRY_BACKOFF = 0.002
+
+
+@dataclass
+class _Reception:
+    """An in-flight reception at a particular receiver."""
+
+    frame: Frame
+    start_time: float
+    end_time: float
+    corrupted: bool = False
+
+
+class WirelessMedium:
+    """The broadcast medium shared by all radios in a scenario."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mobility: MobilityModel,
+        config: Optional[ChannelConfig] = None,
+    ):
+        self.sim = sim
+        self.mobility = mobility
+        self.config = config if config is not None else ChannelConfig()
+        self.stats = MediumStats()
+        self._radios: Dict[str, "Radio"] = {}
+        self._receptions: Dict[str, List[_Reception]] = {}
+        self._busy_until: Dict[str, float] = {}
+        self._loss_rng = sim.rng("wireless.loss")
+        self._backoff_rng = sim.rng("wireless.csma")
+        self._unicast_retries: Dict[int, int] = {}
+
+    # ------------------------------------------------------------- topology
+    def attach(self, radio: "Radio") -> None:
+        """Attach a radio to the medium (one per node id)."""
+        if radio.node_id in self._radios:
+            raise ValueError(f"a radio for node {radio.node_id!r} is already attached")
+        self._radios[radio.node_id] = radio
+        self._receptions[radio.node_id] = []
+        self._busy_until[radio.node_id] = 0.0
+
+    def detach(self, node_id: str) -> None:
+        """Detach a node's radio (e.g. a node powering off)."""
+        self._radios.pop(node_id, None)
+        self._receptions.pop(node_id, None)
+        self._busy_until.pop(node_id, None)
+
+    @property
+    def node_ids(self) -> list[str]:
+        return list(self._radios)
+
+    def neighbours_of(self, node_id: str, time: Optional[float] = None) -> list[str]:
+        """Node ids currently within WiFi range of ``node_id`` (excluding itself)."""
+        when = self.sim.now if time is None else time
+        wifi_range = self._range_of(node_id)
+        origin = self.mobility.position(node_id, when)
+        nearby = []
+        for other_id in self._radios:
+            if other_id == node_id:
+                continue
+            if origin.distance_to(self.mobility.position(other_id, when)) <= wifi_range:
+                nearby.append(other_id)
+        return nearby
+
+    # ----------------------------------------------------------- transmission
+    def transmit(self, sender_id: str, frame: Frame) -> float:
+        """Hand ``frame`` to the medium for transmission by ``sender_id``.
+
+        If the sender is already transmitting, the frame is queued behind the
+        ongoing transmission(s).  Returns the frame airtime in seconds.
+        """
+        if sender_id not in self._radios:
+            raise ValueError(f"node {sender_id!r} has no radio attached to this medium")
+        now = self.sim.now
+        airtime = self.config.airtime(frame.size_bytes)
+        start = max(now, self._busy_until.get(sender_id, 0.0))
+        if start > now:
+            start += INTER_FRAME_SPACE
+        self._busy_until[sender_id] = start + airtime
+        if start > now:
+            self.sim.schedule(start - now, self._begin_transmission, sender_id, frame, airtime, 0)
+        else:
+            self._begin_transmission(sender_id, frame, airtime, 0)
+        return airtime
+
+    def _channel_busy_at(self, node_id: str, now: float) -> float:
+        """Until when the channel is sensed busy at ``node_id`` (0.0 if idle)."""
+        receptions = self._receptions.get(node_id, ())
+        busy_until = 0.0
+        for reception in receptions:
+            if reception.end_time > now:
+                busy_until = max(busy_until, reception.end_time)
+        return busy_until
+
+    def _begin_transmission(self, sender_id: str, frame: Frame, airtime: float, deferrals: int) -> None:
+        if sender_id not in self._radios:
+            return  # radio detached while the frame was queued
+        now = self.sim.now
+        # Carrier sense: defer while another transmission is audible here.
+        busy_until = self._channel_busy_at(sender_id, now)
+        if busy_until > now and deferrals < MAX_CSMA_DEFERRALS:
+            backoff = self._backoff_rng.uniform(0.0, 0.001)
+            restart = busy_until - now + INTER_FRAME_SPACE + backoff
+            self._busy_until[sender_id] = max(self._busy_until[sender_id], now + restart + airtime)
+            self.sim.schedule(restart, self._begin_transmission, sender_id, frame, airtime, deferrals + 1)
+            return
+        end_time = now + airtime
+        self.stats.record_transmission(frame.kind, frame.protocol, frame.size_bytes)
+
+        sender_position = self.mobility.position(sender_id, now)
+        wifi_range = self._range_of(sender_id)
+        for receiver_id in list(self._radios):
+            if receiver_id == sender_id:
+                continue
+            distance = sender_position.distance_to(self.mobility.position(receiver_id, now))
+            if distance > wifi_range:
+                continue
+            reception = _Reception(frame=frame, start_time=now, end_time=end_time)
+            # Half-duplex: a node that is itself transmitting cannot receive.
+            if self._busy_until.get(receiver_id, 0.0) > now:
+                reception.corrupted = True
+            self._mark_collisions(receiver_id, reception)
+            self._receptions[receiver_id].append(reception)
+            self.sim.schedule(airtime, self._complete_reception, receiver_id, reception)
+
+    def _range_of(self, node_id: str) -> float:
+        radio = self._radios[node_id]
+        return radio.wifi_range if radio.wifi_range is not None else self.config.wifi_range
+
+    def _mark_collisions(self, receiver_id: str, incoming: _Reception) -> None:
+        active = self._receptions[receiver_id]
+        # Prune receptions that already completed to keep the list short.
+        still_active = [r for r in active if r.end_time > incoming.start_time]
+        self._receptions[receiver_id] = still_active
+        for existing in still_active:
+            existing.corrupted = True
+            incoming.corrupted = True
+            self.stats.collisions += 1
+
+    def _complete_reception(self, receiver_id: str, reception: _Reception) -> None:
+        receptions = self._receptions.get(receiver_id)
+        if receptions is None:
+            return  # radio detached mid-flight
+        if reception in receptions:
+            receptions.remove(reception)
+        radio = self._radios.get(receiver_id)
+        if radio is None:
+            return
+        if reception.corrupted:
+            radio.stats.frames_collided += 1
+            self._maybe_retry_unicast(receiver_id, reception.frame)
+            return
+        if self.config.loss_rate and self._loss_rng.random() < self.config.loss_rate:
+            self.stats.losses += 1
+            radio.stats.frames_lost += 1
+            self._maybe_retry_unicast(receiver_id, reception.frame)
+            return
+        self.stats.deliveries += 1
+        if reception.frame.destination == receiver_id:
+            self._unicast_retries.pop(reception.frame.frame_id, None)
+        radio.deliver(reception.frame)
+
+    def _maybe_retry_unicast(self, receiver_id: str, frame: Frame) -> None:
+        """802.11-style link-layer ARQ: retransmit lost unicast frames a few times.
+
+        Only frames addressed to ``receiver_id`` are retried (broadcast frames
+        have no acknowledgements in 802.11 ad-hoc mode, so neither do ours).
+        """
+        if frame.destination != receiver_id or frame.sender not in self._radios:
+            return
+        retries = self._unicast_retries.get(frame.frame_id, 0)
+        if retries >= UNICAST_RETRY_LIMIT:
+            self._unicast_retries.pop(frame.frame_id, None)
+            return
+        self._unicast_retries[frame.frame_id] = retries + 1
+        backoff = UNICAST_RETRY_BACKOFF * (retries + 1) + self._backoff_rng.uniform(0.0, 0.001)
+        self.sim.schedule(backoff, self.transmit, frame.sender, frame)
+
+    # ------------------------------------------------------------- inspection
+    def busy_until(self, node_id: str) -> float:
+        """Time until which ``node_id``'s transmitter is busy (for tests)."""
+        return self._busy_until.get(node_id, 0.0)

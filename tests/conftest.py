@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import KeyPair, TrustAnchorStore
+from repro.mobility import StaticPlacement
+from repro.simulation import Simulator
+from repro.wireless import ChannelConfig, WirelessMedium
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh deterministic simulator."""
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def lossless_world(sim):
+    """Two static nodes 20 m apart on a lossless channel (plus the medium)."""
+    mobility = StaticPlacement({"a": (0.0, 0.0), "b": (20.0, 0.0)})
+    medium = WirelessMedium(sim, mobility, ChannelConfig(wifi_range=60.0, loss_rate=0.0))
+    return sim, mobility, medium
+
+
+@pytest.fixture
+def producer_key() -> KeyPair:
+    return KeyPair.generate("/residents/producer", seed=b"producer-key")
+
+
+@pytest.fixture
+def trust_store(producer_key) -> TrustAnchorStore:
+    store = TrustAnchorStore()
+    store.add_anchor_key(producer_key)
+    return store

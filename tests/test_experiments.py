@@ -1,0 +1,176 @@
+"""Tests for the experiment harness: configs, metrics, scenarios and runners."""
+
+import pytest
+
+from repro.core import DapesConfig
+from repro.experiments import ExperimentConfig, FeasibilityStudy, RunResult, percentile
+from repro.experiments.fig10_comparison import ComparisonExperiment
+from repro.experiments.fig9_bitmaps import _budget_label
+from repro.experiments.fig9_multihop import _probability_label
+from repro.experiments.metrics import SweepPoint, SweepResult, aggregate_trials
+from repro.experiments.runner import run_protocol_trial, run_trials
+from repro.experiments.scenario import build_collection, build_dapes_scenario, build_ip_scenario
+
+
+# --------------------------------------------------------------------- config
+def test_experiment_config_presets_are_consistent():
+    paper = ExperimentConfig.paper()
+    small = ExperimentConfig.small()
+    tiny = ExperimentConfig.tiny()
+    assert paper.total_packets == 10 * 977  # ten 1 MB files of 1 KB packets (ceil)
+    assert small.total_packets < paper.total_packets
+    assert tiny.downloader_count < small.downloader_count < paper.downloader_count
+    assert paper.downloader_count == 23
+
+
+def test_config_with_overrides_reaches_dapes_fields():
+    config = ExperimentConfig.tiny().with_overrides(wifi_range=42.0, dapes_rpf_strategy="encounter")
+    assert config.wifi_range == 42.0
+    assert config.dapes.rpf_strategy == "encounter"
+    # The original is unchanged (value semantics).
+    assert ExperimentConfig.tiny().dapes.rpf_strategy == "local"
+
+
+def test_dapes_config_validation():
+    with pytest.raises(ValueError):
+        DapesConfig(rpf_strategy="bogus")
+    with pytest.raises(ValueError):
+        DapesConfig(bitmap_exchange="sometimes")
+    with pytest.raises(ValueError):
+        DapesConfig(forwarding_probability=2.0)
+    with pytest.raises(ValueError):
+        DapesConfig(max_bitmaps=0)
+
+
+def test_build_collection_matches_config():
+    config = ExperimentConfig.tiny()
+    collection = build_collection(config)
+    assert len(collection.files) == config.num_files
+    assert collection.total_packets == config.total_packets
+
+
+# -------------------------------------------------------------------- metrics
+def test_percentile_errors():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 150)
+
+
+def test_percentile_interpolates():
+    assert percentile([1, 2, 3, 4], 50) == pytest.approx(2.5)
+    assert percentile([10], 90) == 10
+
+
+def test_run_result_mean_counts_incomplete_as_duration():
+    result = RunResult(protocol="dapes", seed=1, download_times={"a": 10.0}, incomplete_nodes=["b"], duration=100.0)
+    assert result.mean_download_time == pytest.approx(55.0)
+    assert result.completion_ratio == pytest.approx(0.5)
+
+
+def test_aggregate_trials_uses_percentile():
+    results = [
+        RunResult(protocol="dapes", seed=i, download_times={"a": float(i)}, transmissions=i * 10, duration=10.0)
+        for i in range(1, 11)
+    ]
+    point = aggregate_trials("label", {"x": 1}, results, q=90.0)
+    assert point.download_time == pytest.approx(percentile([float(i) for i in range(1, 11)], 90))
+    assert point.trials == 10
+    with pytest.raises(ValueError):
+        aggregate_trials("label", {}, [], q=90)
+
+
+def test_sweep_result_rows_series_and_lookup():
+    sweep = SweepResult(name="n", description="d")
+    sweep.add_point(SweepPoint("A", {"wifi_range": 40}, 10.0, 100.0, 1.0, 1))
+    sweep.add_point(SweepPoint("A", {"wifi_range": 80}, 8.0, 120.0, 1.0, 1))
+    sweep.add_point(SweepPoint("B", {"wifi_range": 40}, 20.0, 200.0, 1.0, 1))
+    assert len(sweep.rows()) == 3
+    assert sweep.series("download_time")["A"] == [10.0, 8.0]
+    assert sweep.series("transmissions")["B"] == [200.0]
+    assert sweep.point("A", wifi_range=80).download_time == 8.0
+    assert sweep.point("C") is None
+    assert "Fig" not in sweep.summary() or sweep.summary()  # summary renders without error
+
+
+def test_labels_helpers():
+    assert _budget_label(None) == "All bitmaps"
+    assert _budget_label(1) == "1 bitmap"
+    assert _budget_label(3) == "3 bitmaps"
+    assert _probability_label(None) == "Single-hop"
+    assert _probability_label(0.4) == "Multi-hop, forwarding probability=40%"
+
+
+# ------------------------------------------------------------------- scenarios
+def test_dapes_scenario_structure():
+    config = ExperimentConfig.tiny()
+    scenario = build_dapes_scenario(config, seed=1)
+    assert len(scenario.downloader_ids) == config.downloader_count
+    assert scenario.producer_id not in scenario.downloader_ids
+    assert len(scenario.pure_forwarders) == config.pure_forwarders
+    # Producer already holds the whole collection; downloaders hold nothing.
+    assert scenario.nodes[scenario.producer_id].peer.progress(scenario.collection_id) == 1.0
+    assert scenario.nodes[scenario.downloader_ids[0]].peer.progress(scenario.collection_id) == 0.0
+
+
+def test_ip_scenario_structure():
+    config = ExperimentConfig.tiny()
+    scenario = build_ip_scenario(config, seed=1, protocol="bithoc")
+    assert scenario.peers[scenario.seed_id].is_complete
+    assert len(scenario.downloader_ids) == config.downloader_count
+    assert all(not scenario.peers[node].is_complete for node in scenario.downloader_ids)
+    with pytest.raises(ValueError):
+        build_ip_scenario(config, seed=1, protocol="gnutella")
+
+
+# --------------------------------------------------------------------- runners
+def test_run_protocol_trial_dapes_tiny_completes():
+    config = ExperimentConfig.tiny()
+    result = run_protocol_trial("dapes", config, seed=3)
+    assert result.protocol == "dapes"
+    assert result.completion_ratio == 1.0
+    assert result.transmissions > 0
+    assert set(result.download_times) <= set(f"mobile-{i}" for i in range(1, 10)) | {"repo-0"}
+
+
+def test_run_protocol_trial_rejects_unknown_protocol():
+    with pytest.raises(ValueError):
+        run_protocol_trial("gnutella", ExperimentConfig.tiny(), seed=1)
+
+
+def test_run_trials_aggregates_with_label_and_parameters():
+    config = ExperimentConfig.tiny().with_overrides(trials=2, max_duration=240.0)
+    point = run_trials("dapes", config, "DAPES", parameters={"wifi_range": config.wifi_range})
+    assert point.label == "DAPES"
+    assert point.trials == 2
+    assert point.parameters["wifi_range"] == config.wifi_range
+    assert point.download_time > 0
+
+
+def test_comparison_improvements_math():
+    sweep = SweepResult(name="cmp", description="")
+    sweep.add_point(SweepPoint("DAPES", {"wifi_range": 60.0}, 10.0, 100.0, 1.0, 1))
+    sweep.add_point(SweepPoint("Bithoc", {"wifi_range": 60.0}, 20.0, 400.0, 1.0, 1))
+    improvements = ComparisonExperiment.improvements(sweep, metric="download_time")
+    assert improvements["Bithoc"][0] == pytest.approx(0.5)
+    improvements = ComparisonExperiment.improvements(sweep, metric="transmissions")
+    assert improvements["Bithoc"][0] == pytest.approx(0.75)
+
+
+# ------------------------------------------------------------------ Table I
+def test_feasibility_scenario_validation():
+    study = FeasibilityStudy(config=ExperimentConfig.tiny())
+    with pytest.raises(ValueError):
+        study.run_scenario(4)
+
+
+def test_feasibility_single_scenario_runs():
+    config = ExperimentConfig.tiny().with_overrides(max_duration=300.0)
+    study = FeasibilityStudy(config=config)
+    outcome = study.run_scenario(2)
+    assert outcome.scenario == 2
+    assert outcome.transmissions > 0
+    assert outcome.download_time > 0
+    assert outcome.memory_overhead_mb > 0
+    row = outcome.as_row()
+    assert set(row) >= {"download_time_s", "transmissions", "memory_overhead_mb", "context_switches"}

@@ -1,0 +1,167 @@
+"""Unit tests for the mobility models."""
+
+import math
+import random
+
+import pytest
+
+from repro.mobility import (
+    CompositeMobility,
+    Position,
+    RandomDirectionMobility,
+    RandomWaypointMobility,
+    ScriptedMobility,
+    StaticPlacement,
+    Waypoint,
+)
+
+
+def test_position_distance():
+    assert Position(0, 0).distance_to(Position(3, 4)) == pytest.approx(5.0)
+
+
+def test_static_placement_returns_fixed_positions():
+    model = StaticPlacement({"a": (1.0, 2.0)})
+    assert model.position("a", 0.0) == Position(1.0, 2.0)
+    assert model.position("a", 1000.0) == Position(1.0, 2.0)
+
+
+def test_static_placement_unknown_node_raises():
+    with pytest.raises(KeyError):
+        StaticPlacement().position("ghost", 0.0)
+
+
+def test_static_placement_grid():
+    model = StaticPlacement()
+    model.place_grid(["a", "b", "c", "d"], width=100, height=100, spacing=50)
+    positions = {model.position(n, 0.0) for n in "abcd"}
+    assert len(positions) == 4
+
+
+def test_random_direction_stays_inside_area():
+    model = RandomDirectionMobility(width=100, height=100, rng=random.Random(1))
+    model.add_node("n")
+    for time in range(0, 500, 7):
+        position = model.position("n", float(time))
+        assert -1e-6 <= position.x <= 100 + 1e-6
+        assert -1e-6 <= position.y <= 100 + 1e-6
+
+
+def test_random_direction_is_deterministic_for_same_rng_seed():
+    a = RandomDirectionMobility(rng=random.Random(5))
+    b = RandomDirectionMobility(rng=random.Random(5))
+    a.add_node("n")
+    b.add_node("n")
+    for time in (0.0, 10.0, 100.0, 250.0):
+        assert a.position("n", time) == b.position("n", time)
+
+
+def test_random_direction_queries_out_of_order_are_consistent():
+    model = RandomDirectionMobility(rng=random.Random(2))
+    model.add_node("n")
+    late = model.position("n", 200.0)
+    early = model.position("n", 50.0)
+    late_again = model.position("n", 200.0)
+    assert late == late_again
+    assert isinstance(early, Position)
+
+
+def test_random_direction_respects_speed_bounds():
+    model = RandomDirectionMobility(width=1000, height=1000, min_speed=2.0, max_speed=10.0,
+                                    rng=random.Random(3))
+    model.add_node("n", initial_position=(500.0, 500.0))
+    previous = model.position("n", 0.0)
+    for step in range(1, 50):
+        current = model.position("n", float(step))
+        distance = previous.distance_to(current)
+        assert distance <= 10.0 + 1e-6  # cannot exceed max speed per second
+        previous = current
+
+
+def test_random_direction_initial_position_respected():
+    model = RandomDirectionMobility(rng=random.Random(4))
+    model.add_node("n", initial_position=(10.0, 20.0))
+    assert model.position("n", 0.0) == Position(10.0, 20.0)
+
+
+def test_random_direction_unknown_node_raises():
+    model = RandomDirectionMobility(rng=random.Random(1))
+    with pytest.raises(KeyError):
+        model.position("ghost", 1.0)
+
+
+def test_random_direction_invalid_speed_rejected():
+    with pytest.raises(ValueError):
+        RandomDirectionMobility(min_speed=0.0)
+    with pytest.raises(ValueError):
+        RandomDirectionMobility(min_speed=5.0, max_speed=2.0)
+
+
+def test_random_waypoint_stays_inside_area():
+    model = RandomWaypointMobility(width=80, height=60, rng=random.Random(6))
+    model.add_node("n")
+    for time in range(0, 400, 5):
+        position = model.position("n", float(time))
+        assert 0.0 <= position.x <= 80.0
+        assert 0.0 <= position.y <= 60.0
+
+
+def test_random_waypoint_pause_time_keeps_node_still():
+    model = RandomWaypointMobility(width=100, height=100, min_speed=5.0, max_speed=5.0,
+                                   pause_time=10.0, rng=random.Random(7))
+    model.add_node("n", initial_position=(0.0, 0.0))
+    # Find the end of the first leg by sampling densely.
+    legs = model._legs  # internal but deterministic
+    model.position("n", 200.0)
+    first = legs["n"][0]
+    during_pause = model.position("n", first.end_time + 1.0)
+    assert during_pause == first.end
+
+def test_scripted_mobility_interpolates_linearly():
+    model = ScriptedMobility()
+    model.add_node("n", [Waypoint(0.0, 0.0, 0.0), Waypoint(10.0, 100.0, 0.0)])
+    midpoint = model.position("n", 5.0)
+    assert midpoint.x == pytest.approx(50.0)
+    assert midpoint.y == pytest.approx(0.0)
+
+
+def test_scripted_mobility_clamps_before_and_after_trace():
+    model = ScriptedMobility()
+    model.add_node("n", [(5.0, 10.0, 10.0), (15.0, 20.0, 20.0)])
+    assert model.position("n", 0.0) == Position(10.0, 10.0)
+    assert model.position("n", 100.0) == Position(20.0, 20.0)
+
+
+def test_scripted_mobility_static_node_helper():
+    model = ScriptedMobility()
+    model.add_static_node("repo", 3.0, 4.0)
+    assert model.position("repo", 123.0) == Position(3.0, 4.0)
+
+
+def test_scripted_mobility_requires_waypoints():
+    model = ScriptedMobility()
+    with pytest.raises(ValueError):
+        model.add_node("n", [])
+
+
+def test_scripted_mobility_unknown_node_raises():
+    with pytest.raises(KeyError):
+        ScriptedMobility().position("ghost", 0.0)
+
+
+def test_composite_mobility_dispatches_by_node():
+    static = StaticPlacement({"s": (1.0, 1.0)})
+    scripted = ScriptedMobility()
+    scripted.add_node("m", [(0.0, 0.0, 0.0), (10.0, 10.0, 0.0)])
+    composite = CompositeMobility()
+    composite.assign("s", static)
+    composite.assign("m", scripted)
+    assert composite.position("s", 5.0) == Position(1.0, 1.0)
+    assert composite.position("m", 5.0).x == pytest.approx(5.0)
+    with pytest.raises(KeyError):
+        composite.position("ghost", 0.0)
+
+
+def test_mobility_distance_helper():
+    model = StaticPlacement({"a": (0.0, 0.0), "b": (0.0, 7.0)})
+    assert model.distance("a", "b", 0.0) == pytest.approx(7.0)

@@ -1,0 +1,91 @@
+"""Unit tests for NDN names."""
+
+import pytest
+
+from repro.ndn import Name
+
+
+def test_parse_from_uri_string():
+    name = Name("/damaged-bridge-1533783192/bridge-picture/0")
+    assert name.components == ("damaged-bridge-1533783192", "bridge-picture", "0")
+    assert len(name) == 3
+    assert str(name) == "/damaged-bridge-1533783192/bridge-picture/0"
+
+
+def test_root_name():
+    root = Name()
+    assert len(root) == 0
+    assert str(root) == "/"
+
+
+def test_parse_ignores_duplicate_slashes():
+    assert Name("//a///b/") == Name("/a/b")
+
+
+def test_construct_from_components():
+    assert Name(["a", "b"]) == Name("/a/b")
+
+
+def test_construct_from_name_is_identity():
+    name = Name("/a/b")
+    assert Name(name) == name
+
+
+def test_component_with_slash_rejected():
+    with pytest.raises(ValueError):
+        Name(["a/b"])
+
+
+def test_append_components():
+    name = Name("/collection").append("file", "0")
+    assert name == Name("/collection/file/0")
+
+
+def test_append_splits_slashes():
+    assert Name("/a").append("b/c") == Name("/a/b/c")
+
+
+def test_prefix_and_parent():
+    name = Name("/a/b/c")
+    assert name.prefix(2) == Name("/a/b")
+    assert name.parent() == Name("/a/b")
+    with pytest.raises(ValueError):
+        Name().parent()
+
+
+def test_is_prefix_of():
+    assert Name("/a").is_prefix_of("/a/b/c")
+    assert Name("/a/b/c").is_prefix_of("/a/b/c")
+    assert not Name("/a/b/c/d").is_prefix_of("/a/b/c")
+    assert not Name("/x").is_prefix_of("/a/b")
+    assert Name().is_prefix_of("/anything")
+
+
+def test_equality_with_string():
+    assert Name("/a/b") == "/a/b"
+    assert Name("/a/b") != "/a/c"
+
+
+def test_hashable_and_usable_as_dict_key():
+    table = {Name("/a/b"): 1}
+    assert table[Name("/a/b")] == 1
+
+
+def test_ordering_is_component_wise():
+    assert Name("/a/b") < Name("/a/c")
+    assert sorted([Name("/b"), Name("/a/z"), Name("/a")]) == [Name("/a"), Name("/a/z"), Name("/b")]
+
+
+def test_indexing_and_iteration():
+    name = Name("/a/b/c")
+    assert name[0] == "a"
+    assert name[-1] == "c"
+    assert list(name) == ["a", "b", "c"]
+
+
+def test_wire_size_grows_with_components():
+    assert Name("/a/b/c").wire_size > Name("/a").wire_size
+
+
+def test_join_helper():
+    assert Name.join(["/a/b", "c", Name("/d")]) == Name("/a/b/c/d")

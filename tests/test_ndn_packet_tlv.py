@@ -1,0 +1,144 @@
+"""Unit tests for Interest/Data packets and the TLV wire encoding."""
+
+import pytest
+
+from repro.crypto import KeyPair, sign
+from repro.ndn import Data, Interest, Name
+from repro.ndn.tlv import (
+    TlvError,
+    decode_data,
+    decode_interest,
+    decode_name,
+    decode_tlv,
+    encode_data,
+    encode_interest,
+    encode_name,
+    encode_tlv,
+)
+
+
+# -------------------------------------------------------------------- packets
+def test_interest_defaults():
+    interest = Interest(name=Name("/a/b"))
+    assert interest.lifetime > 0
+    assert interest.hop_limit > 0
+    assert not interest.can_be_prefix
+    assert interest.nonce > 0
+
+
+def test_interest_nonces_are_unique():
+    nonces = {Interest(name=Name("/a")).nonce for _ in range(100)}
+    assert len(nonces) == 100
+
+
+def test_interest_validation():
+    with pytest.raises(ValueError):
+        Interest(name=Name("/a"), lifetime=0)
+    with pytest.raises(ValueError):
+        Interest(name=Name("/a"), hop_limit=-1)
+    # Zero is a legal, exhausted hop budget (forwarders drop it instead).
+    assert Interest(name=Name("/a"), hop_limit=0).hop_limit == 0
+
+
+def test_interest_matches_exact_and_prefix():
+    data = Data(name=Name("/a/b/1"), content=b"x")
+    assert Interest(name=Name("/a/b/1")).matches(data)
+    assert not Interest(name=Name("/a/b")).matches(data)
+    assert Interest(name=Name("/a/b"), can_be_prefix=True).matches(data)
+
+
+def test_interest_clone_for_forwarding_decrements_hop_limit():
+    interest = Interest(name=Name("/a"), hop_limit=5)
+    clone = interest.clone_for_forwarding()
+    assert clone.hop_limit == 4
+    assert clone.nonce == interest.nonce
+    assert clone.name == interest.name
+
+
+def test_interest_wire_size_includes_application_parameters():
+    plain = Interest(name=Name("/a"))
+    with_params = Interest(name=Name("/a"), application_parameters=b"x" * 50, application_parameters_size=50)
+    assert with_params.wire_size >= plain.wire_size + 50
+
+
+def test_data_content_must_be_bytes():
+    with pytest.raises(TypeError):
+        Data(name=Name("/a"), content="not-bytes")
+
+
+def test_data_content_size_override_controls_wire_size():
+    small = Data(name=Name("/a/0"), content=b"tiny")
+    modelled = Data(name=Name("/a/0"), content=b"tiny", content_size_override=1024)
+    assert modelled.content_size == 1024
+    assert modelled.wire_size > small.wire_size
+
+
+def test_data_wire_size_includes_signature():
+    key = KeyPair.generate("/p", seed=b"k")
+    unsigned = Data(name=Name("/a/0"), content=b"payload")
+    signed = Data(name=Name("/a/0"), content=b"payload", signature=sign("/a/0", b"payload", key))
+    assert signed.wire_size > unsigned.wire_size
+
+
+# ------------------------------------------------------------------------ TLV
+def test_tlv_roundtrip_small_and_large_values():
+    for size in (0, 10, 300, 70_000):
+        encoded = encode_tlv(0x42, b"x" * size)
+        type_number, value, offset = decode_tlv(encoded)
+        assert type_number == 0x42
+        assert value == b"x" * size
+        assert offset == len(encoded)
+
+
+def test_tlv_decode_truncated_buffer_raises():
+    encoded = encode_tlv(0x42, b"hello")
+    with pytest.raises(TlvError):
+        decode_tlv(encoded[:-2])
+
+
+def test_name_encoding_roundtrip():
+    name = Name("/damaged-bridge-1533783192/bridge-picture/42")
+    _, value, _ = decode_tlv(encode_name(name))
+    assert decode_name(value) == name
+
+
+def test_interest_encoding_roundtrip():
+    interest = Interest(
+        name=Name("/dapes/bitmap/peer-1/coll/7"),
+        lifetime=1.5,
+        hop_limit=7,
+        can_be_prefix=True,
+        application_parameters=b"\x01\x02\x03",
+        application_parameters_size=3,
+    )
+    decoded = decode_interest(encode_interest(interest))
+    assert decoded.name == interest.name
+    assert decoded.nonce == interest.nonce
+    assert decoded.lifetime == pytest.approx(interest.lifetime)
+    assert decoded.hop_limit == interest.hop_limit
+    assert decoded.can_be_prefix
+    assert decoded.application_parameters == b"\x01\x02\x03"
+
+
+def test_data_encoding_roundtrip_with_signature():
+    key = KeyPair.generate("/producer", seed=b"p")
+    data = Data(
+        name=Name("/coll/file/0"),
+        content=b"some-content",
+        signature=sign("/coll/file/0", b"some-content", key),
+        freshness_period=10.0,
+    )
+    decoded = decode_data(encode_data(data))
+    assert decoded.name == data.name
+    assert decoded.content == data.content
+    assert decoded.freshness_period == pytest.approx(10.0)
+    assert decoded.signature == data.signature
+
+
+def test_decoding_wrong_outer_type_raises():
+    interest = Interest(name=Name("/a"))
+    with pytest.raises(TlvError):
+        decode_data(encode_interest(interest))
+    data = Data(name=Name("/a"), content=b"")
+    with pytest.raises(TlvError):
+        decode_interest(encode_data(data))

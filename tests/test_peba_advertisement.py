@@ -1,0 +1,175 @@
+"""Unit tests for PEBA and advertisement prioritization (Section IV-F)."""
+
+import random
+
+import pytest
+
+from repro.core import Bitmap, PebaScheduler, peba_average_delay
+from repro.core.advertisement import AdvertisementTracker
+from repro.core.peba import (
+    average_contention_window,
+    bitmap_exchange_time_budget,
+    slots_per_group,
+)
+
+
+# ----------------------------------------------------------------------- PEBA
+def test_linear_prioritization_favours_useful_peers():
+    scheduler = PebaScheduler(transmission_window=0.020, rng=random.Random(1))
+    rich = scheduler.schedule(useful_packets=90, total_missing=100)
+    poor = scheduler.schedule(useful_packets=10, total_missing=100)
+    assert rich.delay < poor.delay
+    assert not rich.used_backoff
+
+
+def test_linear_delay_with_zero_useful_packets_is_window():
+    scheduler = PebaScheduler(transmission_window=0.020, rng=random.Random(1))
+    decision = scheduler.schedule(useful_packets=0, total_missing=50)
+    assert decision.delay == pytest.approx(0.020)
+
+
+def test_first_collision_creates_initial_slots():
+    scheduler = PebaScheduler(initial_slots=2, rng=random.Random(1))
+    assert scheduler.current_slots == 0
+    scheduler.record_collision()
+    assert scheduler.current_slots == 2
+    scheduler.record_collision()
+    assert scheduler.current_slots == 4
+
+
+def test_slots_capped_at_max():
+    scheduler = PebaScheduler(initial_slots=2, max_slots=8, rng=random.Random(1))
+    for _ in range(10):
+        scheduler.record_collision()
+    assert scheduler.current_slots == 8
+
+
+def test_backoff_groups_follow_priority_rule():
+    scheduler = PebaScheduler(initial_slots=4, priority_groups=2, slot_duration=0.004, rng=random.Random(1))
+    scheduler.record_collision()  # 4 slots, 2 per priority group
+    high = scheduler.schedule(useful_packets=3, total_missing=6)   # >= half -> group 0
+    low = scheduler.schedule(useful_packets=1, total_missing=6)    # < half  -> group 1
+    assert high.used_backoff and low.used_backoff
+    assert high.group == 0 and low.group == 1
+    assert high.slot < 2 and 2 <= low.slot < 4
+    assert low.delay > high.delay or low.slot > high.slot
+
+
+def test_disabled_peba_keeps_linear_scheduling_after_collisions():
+    scheduler = PebaScheduler(enabled=False, rng=random.Random(1))
+    scheduler.record_collision()
+    decision = scheduler.schedule(useful_packets=5, total_missing=10)
+    assert not decision.used_backoff
+    assert scheduler.current_slots == 0
+    assert scheduler.collisions_detected == 1
+
+
+def test_reset_encounter_clears_backoff_state():
+    scheduler = PebaScheduler(rng=random.Random(1))
+    scheduler.record_collision()
+    scheduler.reset_encounter()
+    assert scheduler.current_slots == 0
+    assert not scheduler.schedule(1, 2).used_backoff
+
+
+def test_scheduler_validation():
+    with pytest.raises(ValueError):
+        PebaScheduler(transmission_window=0)
+    with pytest.raises(ValueError):
+        PebaScheduler(initial_slots=0)
+    with pytest.raises(ValueError):
+        PebaScheduler(max_slots=1, initial_slots=4)
+
+
+# ------------------------------------------------------------------- analysis
+def test_slots_per_group_floor():
+    assert slots_per_group(8, 2) == 4
+    assert slots_per_group(7, 2) == 3
+    assert slots_per_group(1, 4) == 1
+    with pytest.raises(ValueError):
+        slots_per_group(0, 1)
+
+
+def test_average_contention_window_formula():
+    assert average_contention_window(5) == 2.0
+    assert average_contention_window(1) == 0.0
+
+
+def test_peba_average_delay_formula():
+    # n = L/k = 4, L_avg = 1.5, delay = (1.5-1)/2 * tau
+    assert peba_average_delay(8, 2, slot_duration=0.004) == pytest.approx(0.25 * 0.004)
+    # Delay never goes negative even for tiny slot tables.
+    assert peba_average_delay(2, 2, slot_duration=0.004) == 0.0
+    with pytest.raises(ValueError):
+        peba_average_delay(4, 2, slot_duration=0)
+
+
+def test_bitmap_exchange_time_budget_before_data():
+    # Section IV-D: T_data = dt - (T_delay + d) * b, floor at zero.
+    assert bitmap_exchange_time_budget(10.0, 4, 0.5, 0.5, interleaved=False) == pytest.approx(6.0)
+    assert bitmap_exchange_time_budget(3.0, 4, 0.5, 0.5, interleaved=False) == 0.0
+
+
+def test_bitmap_exchange_time_budget_interleaved():
+    # Interleaving only fails when a single exchange does not fit.
+    assert bitmap_exchange_time_budget(10.0, 4, 0.5, 0.5, interleaved=True) == pytest.approx(6.0)
+    assert bitmap_exchange_time_budget(0.5, 4, 0.5, 0.5, interleaved=True) == 0.0
+    with pytest.raises(ValueError):
+        bitmap_exchange_time_budget(-1.0, 1, 0.1, 0.1, interleaved=True)
+
+
+# ----------------------------------------------------------- advertisements
+def test_first_bitmap_priority_is_amount_of_data():
+    tracker = AdvertisementTracker()
+    own = Bitmap(10, set_bits=range(8))
+    priority = tracker.priority("coll", own, now=0.0)
+    assert priority.is_first
+    assert priority.useful_packets == 8
+    assert priority.total_missing == 10
+
+
+def test_subsequent_priority_counts_packets_missing_from_transmitted_union():
+    tracker = AdvertisementTracker()
+    first = Bitmap(10, set_bits=[0, 1, 2, 3])
+    tracker.observe_transmitted_bitmap("coll", first, now=0.0)
+    own = Bitmap(10, set_bits=[0, 1, 4, 5, 6])
+    priority = tracker.priority("coll", own, now=1.0)
+    assert not priority.is_first
+    assert priority.total_missing == 6          # packets 4..9 missing from the union
+    assert priority.useful_packets == 3         # we provide 4, 5, 6
+    assert priority.useful_fraction == pytest.approx(0.5)
+
+
+def test_union_accumulates_over_multiple_bitmaps():
+    tracker = AdvertisementTracker()
+    tracker.observe_transmitted_bitmap("coll", Bitmap(6, set_bits=[0, 1]), now=0.0)
+    tracker.observe_transmitted_bitmap("coll", Bitmap(6, set_bits=[2, 3]), now=0.5)
+    priority = tracker.priority("coll", Bitmap(6, set_bits=[4]), now=1.0)
+    assert priority.total_missing == 2
+    assert priority.useful_packets == 1
+    assert tracker.bitmaps_heard("coll", now=1.0) == 2
+
+
+def test_encounter_state_expires_after_timeout():
+    tracker = AdvertisementTracker(encounter_timeout=5.0)
+    tracker.observe_transmitted_bitmap("coll", Bitmap(6, set_bits=[0]), now=0.0)
+    priority = tracker.priority("coll", Bitmap(6, set_bits=[1]), now=100.0)
+    assert priority.is_first  # the old encounter's state no longer applies
+    assert tracker.bitmaps_heard("coll", now=100.0) == 0
+
+
+def test_reset_clears_state_per_collection():
+    tracker = AdvertisementTracker()
+    tracker.observe_transmitted_bitmap("a", Bitmap(4, set_bits=[0]), now=0.0)
+    tracker.observe_transmitted_bitmap("b", Bitmap(4, set_bits=[0]), now=0.0)
+    tracker.reset("a")
+    assert tracker.bitmaps_heard("a", now=0.1) == 0
+    assert tracker.bitmaps_heard("b", now=0.1) == 1
+    tracker.reset()
+    assert tracker.bitmaps_heard("b", now=0.1) == 0
+
+
+def test_tracker_state_size_counts_union_bitmaps():
+    tracker = AdvertisementTracker()
+    tracker.observe_transmitted_bitmap("a", Bitmap(80, set_bits=[0]), now=0.0)
+    assert tracker.state_size_bytes == 10

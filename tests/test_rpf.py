@@ -1,0 +1,119 @@
+"""Unit tests for the RPF data-fetching strategies (Section IV-E)."""
+
+import random
+
+import pytest
+
+from repro.core import Bitmap, EncounterBasedRpf, LocalNeighborhoodRpf, make_fetch_strategy
+
+
+def bitmap(size, ones):
+    return Bitmap(size, set_bits=ones)
+
+
+def test_factory_dispatch():
+    assert isinstance(make_fetch_strategy("local"), LocalNeighborhoodRpf)
+    assert isinstance(make_fetch_strategy("encounter"), EncounterBasedRpf)
+    with pytest.raises(ValueError):
+        make_fetch_strategy("unknown")
+
+
+def test_local_rpf_prioritizes_rarest_packet():
+    strategy = LocalNeighborhoodRpf(random_start=False)
+    own = bitmap(4, [])
+    strategy.observe_bitmap("p1", bitmap(4, [0, 1, 2]), now=0.0)
+    strategy.observe_bitmap("p2", bitmap(4, [0, 1]), now=0.0)
+    strategy.observe_bitmap("p3", bitmap(4, [0]), now=0.0)
+    # Rarity: packet 3 missing from all three, packet 2 from two, packet 1 from one.
+    assert strategy.select(own, 3) == [3, 2, 1]
+    assert strategy.rarity_of(3) == 3
+
+
+def test_local_rpf_excludes_outstanding_requests():
+    strategy = LocalNeighborhoodRpf(random_start=False)
+    own = bitmap(4, [])
+    strategy.observe_bitmap("p1", bitmap(4, [0]), now=0.0)
+    picks = strategy.select(own, 4, exclude=[3, 2])
+    assert 3 not in picks and 2 not in picks
+
+
+def test_local_rpf_without_knowledge_is_sequential_from_start():
+    strategy = LocalNeighborhoodRpf(random_start=False)
+    own = bitmap(5, [0])
+    assert strategy.select(own, 10) == [1, 2, 3, 4]
+
+
+def test_local_rpf_random_start_rotates_order():
+    strategy = LocalNeighborhoodRpf(random_start=True, rng=random.Random(3))
+    own = bitmap(50, [])
+    picks = strategy.select(own, 5)
+    assert picks[0] != 0  # with this seed the start offset is non-zero
+    # consecutive from the offset, wrapping around
+    offsets = [(pick - picks[0]) % 50 for pick in picks]
+    assert offsets == [0, 1, 2, 3, 4]
+
+
+def test_local_rpf_select_empty_when_complete():
+    strategy = LocalNeighborhoodRpf()
+    assert strategy.select(Bitmap.full(4), 4) == []
+    assert strategy.select(bitmap(4, []), 0) == []
+
+
+def test_local_rpf_forgets_departed_peer():
+    strategy = LocalNeighborhoodRpf(random_start=False)
+    strategy.observe_bitmap("p1", bitmap(4, [0]), now=0.0)
+    strategy.forget_peer("p1")
+    assert strategy.known_bitmaps() == []
+    assert strategy.neighborhood_size == 0
+
+
+def test_local_rpf_reset_encounter_clears_all_state():
+    strategy = LocalNeighborhoodRpf(random_start=False)
+    strategy.observe_bitmap("p1", bitmap(4, [0]), now=0.0)
+    strategy.observe_bitmap("p2", bitmap(4, [1]), now=0.0)
+    strategy.reset_encounter()
+    assert strategy.known_bitmaps() == []
+
+
+def test_encounter_rpf_keeps_history_across_encounters():
+    strategy = EncounterBasedRpf(history=10, random_start=False)
+    strategy.observe_bitmap("p1", bitmap(4, [0]), now=0.0)
+    strategy.reset_encounter()
+    strategy.forget_peer("p1")
+    assert len(strategy.known_bitmaps()) == 1  # history survives disconnection
+
+
+def test_encounter_rpf_history_is_bounded():
+    strategy = EncounterBasedRpf(history=3, random_start=False)
+    for index in range(6):
+        strategy.observe_bitmap(f"p{index}", bitmap(4, [0]), now=float(index))
+    assert len(strategy.known_bitmaps()) == 3
+    assert strategy.remembered_peers == ["p3", "p4", "p5"]
+
+
+def test_encounter_rpf_repeat_encounter_updates_bitmap():
+    strategy = EncounterBasedRpf(history=5, random_start=False)
+    strategy.observe_bitmap("p1", bitmap(4, [0]), now=0.0)
+    strategy.observe_bitmap("p1", bitmap(4, [0, 1, 2]), now=1.0)
+    assert len(strategy.known_bitmaps()) == 1
+    assert strategy.known_bitmaps()[0].count() == 3
+
+
+def test_encounter_rpf_rarity_over_history():
+    strategy = EncounterBasedRpf(history=5, random_start=False)
+    strategy.observe_bitmap("p1", bitmap(3, [0, 1]), now=0.0)
+    strategy.observe_bitmap("p2", bitmap(3, [0]), now=1.0)
+    own = bitmap(3, [])
+    assert strategy.select(own, 3) == [2, 1, 0]
+
+
+def test_encounter_rpf_validates_history():
+    with pytest.raises(ValueError):
+        EncounterBasedRpf(history=0)
+
+
+def test_encounter_rpf_state_size_grows_with_history():
+    strategy = EncounterBasedRpf(history=10)
+    strategy.observe_bitmap("p1", bitmap(800, []), now=0.0)
+    strategy.observe_bitmap("p2", bitmap(800, []), now=0.0)
+    assert strategy.state_size_bytes == 2 * 100

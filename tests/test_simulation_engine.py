@@ -1,0 +1,155 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.simulation import SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "late")
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(1.5, fired.append, "middle")
+    sim.run()
+    assert fired == ["early", "middle", "late"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for index in range(10):
+        sim.schedule(1.0, fired.append, index)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(3.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [3.5]
+    assert sim.now == 3.5
+
+
+def test_run_until_excludes_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "in")
+    sim.schedule(5.0, fired.append, "out")
+    sim.run(until=2.0)
+    assert fired == ["in"]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == ["in", "out"]
+
+
+def test_run_until_is_inclusive():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "boundary")
+    sim.run(until=2.0)
+    assert fired == ["boundary"]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert not handle.active
+
+
+def test_cancel_via_simulator_handles_none():
+    sim = Simulator()
+    sim.cancel(None)  # must not raise
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_the_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def chain(step):
+        fired.append(step)
+        if step < 3:
+            sim.schedule(1.0, chain, step + 1)
+
+    sim.schedule(1.0, chain, 1)
+    sim.run()
+    assert fired == [1, 2, 3]
+    assert sim.now == pytest.approx(3.0)
+
+
+def test_stop_halts_processing():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append("first"), sim.stop()))
+    sim.schedule(2.0, fired.append, "second")
+    sim.run()
+    assert fired == ["first"]
+    # The queue still holds the second event; a new run picks it up.
+    sim.run()
+    assert fired == ["first", "second"]
+
+
+def test_max_events_limits_processing():
+    sim = Simulator()
+    fired = []
+    for index in range(5):
+        sim.schedule(index + 1.0, fired.append, index)
+    sim.run(max_events=2)
+    assert fired == [0, 1]
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for index in range(4):
+        sim.schedule(1.0 + index, lambda: None)
+    sim.run()
+    assert sim.events_processed == 4
+
+
+def test_pending_events_excludes_cancelled():
+    sim = Simulator()
+    keep = sim.schedule(1.0, lambda: None)
+    drop = sim.schedule(2.0, lambda: None)
+    drop.cancel()
+    assert sim.pending_events == 1
+    assert keep.active
+
+
+def test_rng_streams_are_deterministic_across_runs():
+    values_a = Simulator(seed=9).rng("test").random()
+    values_b = Simulator(seed=9).rng("test").random()
+    assert values_a == values_b
+
+
+def test_rng_streams_differ_by_name_and_seed():
+    sim = Simulator(seed=9)
+    assert sim.rng("one").random() != sim.rng("two").random()
+    assert Simulator(seed=1).rng("x").random() != Simulator(seed=2).rng("x").random()
+
+
+def test_kwargs_passed_to_callback():
+    sim = Simulator()
+    seen = {}
+    sim.schedule(1.0, lambda **kw: seen.update(kw), value=42)
+    sim.run()
+    assert seen == {"value": 42}

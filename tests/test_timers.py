@@ -1,0 +1,115 @@
+"""Unit tests for Timer and PeriodicTimer."""
+
+from repro.simulation import PeriodicTimer, Simulator, Timer
+
+
+def test_timer_fires_once():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(2.0)
+    sim.run()
+    assert fired == [2.0]
+    assert not timer.running
+
+
+def test_timer_restart_replaces_previous_deadline():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(5.0)
+    timer.start(1.0)
+    sim.run()
+    assert fired == [1.0]
+
+
+def test_timer_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, fired.append)
+    timer.start(1.0, "x")
+    timer.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_timer_passes_arguments():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda a, b=None: fired.append((a, b)))
+    timer.start(1.0, "first", b="second")
+    sim.run()
+    assert fired == [("first", "second")]
+
+
+def test_timer_expiry_property():
+    sim = Simulator()
+    timer = Timer(sim, lambda: None)
+    assert timer.expiry is None
+    timer.start(3.0)
+    assert timer.expiry == 3.0
+
+
+def test_periodic_timer_fires_repeatedly():
+    sim = Simulator()
+    fired = []
+    timer = PeriodicTimer(sim, lambda: fired.append(sim.now), period=1.0)
+    timer.start()
+    sim.run(until=4.5)
+    assert fired == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_periodic_timer_stop():
+    sim = Simulator()
+    fired = []
+    timer = PeriodicTimer(sim, lambda: fired.append(sim.now), period=1.0)
+    timer.start()
+    sim.schedule(2.5, timer.stop)
+    sim.run(until=10.0)
+    assert fired == [1.0, 2.0]
+    assert not timer.running
+
+
+def test_periodic_timer_initial_delay():
+    sim = Simulator()
+    fired = []
+    timer = PeriodicTimer(sim, lambda: fired.append(sim.now), period=5.0)
+    timer.start(initial_delay=1.0)
+    sim.run(until=7.0)
+    assert fired == [1.0, 6.0]
+
+
+def test_periodic_timer_callable_period_adapts():
+    sim = Simulator()
+    fired = []
+    periods = iter([1.0, 3.0, 1.0, 1.0, 1.0])
+    timer = PeriodicTimer(sim, lambda: fired.append(sim.now), period=lambda: next(periods))
+    timer.start()
+    sim.run(until=5.5)
+    # First fire after 1.0, next after 3.0 more, then 1.0 steps.
+    assert fired == [1.0, 4.0, 5.0]
+
+
+def test_periodic_timer_stop_from_callback():
+    sim = Simulator()
+    fired = []
+
+    def once():
+        fired.append(sim.now)
+        timer.stop()
+
+    timer = PeriodicTimer(sim, once, period=1.0)
+    timer.start()
+    sim.run(until=10.0)
+    assert fired == [1.0]
+
+
+def test_periodic_timer_jitter_stays_positive():
+    sim = Simulator(seed=3)
+    fired = []
+    timer = PeriodicTimer(sim, lambda: fired.append(sim.now), period=1.0, jitter=0.5, rng=sim.rng("jitter"))
+    timer.start()
+    sim.run(until=10.0)
+    assert len(fired) >= 5
+    gaps = [b - a for a, b in zip(fired, fired[1:])]
+    assert all(0.4 <= gap <= 1.6 for gap in gaps)

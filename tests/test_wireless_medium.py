@@ -1,0 +1,196 @@
+"""Unit tests for the wireless medium, radio and channel model."""
+
+import pytest
+
+from repro.mobility import StaticPlacement
+from repro.simulation import Simulator
+from repro.wireless import ChannelConfig, Frame, Radio, WirelessMedium
+
+
+def build_world(positions, wifi_range=60.0, loss_rate=0.0, seed=1):
+    sim = Simulator(seed=seed)
+    mobility = StaticPlacement(positions)
+    medium = WirelessMedium(sim, mobility, ChannelConfig(wifi_range=wifi_range, loss_rate=loss_rate))
+    radios = {node: Radio(sim, medium, node) for node in positions}
+    return sim, medium, radios
+
+
+def test_channel_airtime_scales_with_size():
+    config = ChannelConfig(data_rate_bps=1_000_000, per_frame_overhead_s=0.0)
+    assert config.airtime(1250) == pytest.approx(0.01)
+
+
+def test_channel_config_validation():
+    with pytest.raises(ValueError):
+        ChannelConfig(data_rate_bps=0)
+    with pytest.raises(ValueError):
+        ChannelConfig(wifi_range=0)
+    with pytest.raises(ValueError):
+        ChannelConfig(loss_rate=1.5)
+
+
+def test_frame_requires_positive_size():
+    with pytest.raises(ValueError):
+        Frame(sender="a", payload=None, size_bytes=0, kind="x")
+
+
+def test_broadcast_reaches_nodes_in_range_only():
+    sim, medium, radios = build_world({"a": (0, 0), "b": (30, 0), "c": (500, 0)})
+    received = []
+    radios["b"].on_receive = lambda frame: received.append(("b", frame.payload))
+    radios["c"].on_receive = lambda frame: received.append(("c", frame.payload))
+    radios["a"].broadcast("hello", 100, kind="test")
+    sim.run()
+    assert received == [("b", "hello")]
+
+
+def test_unicast_delivered_to_destination_and_overheard_by_others():
+    sim, medium, radios = build_world({"a": (0, 0), "b": (30, 0), "c": (40, 0)})
+    received, overheard = [], []
+    radios["b"].on_receive = lambda frame: received.append("b")
+    radios["c"].on_receive = lambda frame: received.append("c")
+    radios["c"].on_overhear = lambda frame: overheard.append("c")
+    radios["a"].unicast("b", "data", 100, kind="test")
+    sim.run()
+    assert received == ["b"]
+    assert overheard == ["c"]
+
+
+def test_sender_does_not_hear_own_frame():
+    sim, medium, radios = build_world({"a": (0, 0), "b": (10, 0)})
+    heard = []
+    radios["a"].on_receive = lambda frame: heard.append("a")
+    radios["a"].broadcast("x", 50, kind="test")
+    sim.run()
+    assert heard == []
+
+
+def test_neighbours_reflect_positions():
+    sim, medium, radios = build_world({"a": (0, 0), "b": (30, 0), "c": (500, 0)})
+    assert medium.neighbours_of("a") == ["b"]
+    assert radios["a"].neighbours() == ["b"]
+
+
+def test_loss_rate_drops_frames():
+    sim, medium, radios = build_world({"a": (0, 0), "b": (10, 0)}, loss_rate=0.999, seed=5)
+    received = []
+    radios["b"].on_receive = lambda frame: received.append(frame)
+    for _ in range(30):
+        radios["a"].broadcast("x", 50, kind="test")
+    sim.run()
+    assert len(received) < 5
+    assert medium.stats.losses > 20
+
+
+def test_simultaneous_transmissions_from_two_senders_collide_at_receiver():
+    sim, medium, radios = build_world({"a": (0, 0), "b": (20, 0), "x": (10, 0)})
+    received = []
+    radios["x"].on_receive = lambda frame: received.append(frame.sender)
+    # a and x are in range of each other, so CSMA would defer; use two senders
+    # that cannot hear each other (hidden terminals) but both reach x.
+    sim, medium, radios = build_world({"a": (0, 0), "b": (100, 0), "x": (55, 0)}, wifi_range=60)
+    radios["x"].on_receive = lambda frame: received.append(frame.sender)
+    radios["a"].broadcast("from-a", 1000, kind="test")
+    radios["b"].broadcast("from-b", 1000, kind="test")
+    sim.run()
+    assert received == []  # both corrupted at x
+    assert medium.stats.collisions >= 1
+
+
+def test_per_sender_transmissions_are_serialized():
+    sim, medium, radios = build_world({"a": (0, 0), "b": (10, 0)})
+    received = []
+    radios["b"].on_receive = lambda frame: received.append(frame.payload)
+    for index in range(5):
+        radios["a"].broadcast(index, 1000, kind="test")
+    sim.run()
+    assert received == [0, 1, 2, 3, 4]  # all delivered despite being queued back-to-back
+
+
+def test_csma_defers_when_channel_is_busy():
+    # a and b are in range of each other: b senses a's ongoing transmission
+    # and defers, so c (in range of both) receives both frames.
+    sim, medium, radios = build_world({"a": (0, 0), "b": (30, 0), "c": (15, 0)})
+    received = []
+    radios["c"].on_receive = lambda frame: received.append(frame.sender)
+    radios["a"].broadcast("first", 2000, kind="test")
+    sim.schedule(0.0001, radios["b"].broadcast, "second", 2000, "test")
+    sim.run()
+    assert sorted(received) == ["a", "b"]
+
+
+def test_half_duplex_sender_cannot_receive_while_transmitting():
+    # b transmits with a tiny radio range (a cannot hear it, so a does not
+    # defer via carrier sense), while a transmits towards b: the frame reaches
+    # b while b's own transmitter is busy and must be lost (half-duplex).
+    sim = Simulator(seed=1)
+    mobility = StaticPlacement({"a": (0, 0), "b": (50, 0)})
+    medium = WirelessMedium(sim, mobility, ChannelConfig(wifi_range=60.0, loss_rate=0.0))
+    radio_a = Radio(sim, medium, "a", wifi_range=100.0)
+    radio_b = Radio(sim, medium, "b", wifi_range=5.0)
+    received_at_b = []
+    radio_b.on_receive = lambda frame: received_at_b.append(frame)
+    radio_b.broadcast("long-transmission", 5000, kind="test")
+    sim.schedule(0.0001, radio_a.broadcast, "towards-b", 1000, "test")
+    sim.run()
+    assert received_at_b == []
+    assert radio_b.stats.frames_collided >= 1
+
+
+def test_unicast_link_layer_retry_recovers_from_loss():
+    sim, medium, radios = build_world({"a": (0, 0), "b": (10, 0)}, loss_rate=0.4, seed=11)
+    received = []
+    radios["b"].on_receive = lambda frame: received.append(frame.payload)
+    for index in range(20):
+        radios["a"].unicast("b", index, 200, kind="test")
+    sim.run()
+    # With up to 3 link-layer retries virtually every unicast frame arrives.
+    assert len(set(received)) >= 19
+
+
+def test_stats_track_transmissions_by_kind_and_protocol():
+    sim, medium, radios = build_world({"a": (0, 0), "b": (10, 0)})
+    frame = Frame(sender="a", payload="x", size_bytes=100, kind="interest", protocol="dapes")
+    radios["a"].send(frame)
+    sim.run()
+    assert medium.stats.frames_transmitted == 1
+    assert medium.stats.transmitted_by_kind["interest"] == 1
+    assert medium.stats.transmitted_by_protocol["dapes"] == 1
+    assert radios["a"].stats.frames_sent == 1
+    assert radios["b"].stats.frames_received == 1
+
+
+def test_radio_rejects_frames_from_other_senders():
+    sim, medium, radios = build_world({"a": (0, 0), "b": (10, 0)})
+    frame = Frame(sender="b", payload="x", size_bytes=10, kind="test")
+    with pytest.raises(ValueError):
+        radios["a"].send(frame)
+
+
+def test_duplicate_radio_attachment_rejected():
+    sim, medium, radios = build_world({"a": (0, 0)})
+    with pytest.raises(ValueError):
+        Radio(sim, medium, "a")
+
+
+def test_detached_radio_no_longer_receives():
+    sim, medium, radios = build_world({"a": (0, 0), "b": (10, 0)})
+    received = []
+    radios["b"].on_receive = lambda frame: received.append(frame)
+    medium.detach("b")
+    radios["a"].broadcast("x", 100, kind="test")
+    sim.run()
+    assert received == []
+
+
+def test_per_radio_range_override():
+    sim = Simulator(seed=1)
+    mobility = StaticPlacement({"a": (0, 0), "b": (80, 0)})
+    medium = WirelessMedium(sim, mobility, ChannelConfig(wifi_range=60.0, loss_rate=0.0))
+    long_range = Radio(sim, medium, "a", wifi_range=100.0)
+    normal = Radio(sim, medium, "b")
+    received = []
+    normal.on_receive = lambda frame: received.append(frame)
+    long_range.broadcast("far", 100, kind="test")
+    sim.run()
+    assert len(received) == 1
