@@ -9,6 +9,7 @@ who wins, how curves move with WiFi range, and where the trade-offs sit.
 
 from __future__ import annotations
 
+import json
 import pathlib
 import re
 
@@ -32,11 +33,23 @@ def quick_config() -> ExperimentConfig:
     return ExperimentConfig.small().with_overrides(trials=1, max_duration=400.0)
 
 
-def report(result) -> None:
+def _wall_clock_seconds(benchmark) -> float | None:
+    """Total measured wall-clock of a pytest-benchmark fixture, if available."""
+    try:
+        return float(sum(benchmark.stats.stats.data))
+    except (AttributeError, TypeError):
+        return None
+
+
+def report(result, benchmark=None) -> None:
     """Print an experiment's rows and archive them under benchmark_results/.
 
-    The archived files are what EXPERIMENTS.md's measured numbers come from;
-    printing as well means ``pytest -s`` shows the tables inline.
+    The archived ``<slug>.txt`` tables are what EXPERIMENTS.md's measured
+    numbers come from; printing as well means ``pytest -s`` shows them
+    inline.  When the pytest-benchmark fixture is passed along, a
+    machine-readable ``BENCH_<slug>.json`` is written next to the table with
+    the wall-clock and simulation-event throughput, giving future PRs a perf
+    trajectory to compare against.
     """
     print()
     print(result.summary())
@@ -44,3 +57,16 @@ def report(result) -> None:
     results_dir.mkdir(exist_ok=True)
     slug = re.sub(r"[^a-z0-9]+", "-", result.name.lower()).strip("-")[:60]
     (results_dir / f"{slug}.txt").write_text(result.summary() + "\n", encoding="utf-8")
+
+    wall_s = _wall_clock_seconds(benchmark) if benchmark is not None else None
+    events = sum(int(point.extras.get("events", 0)) for point in result.points)
+    payload = {
+        "name": result.name,
+        "wall_clock_s": round(wall_s, 4) if wall_s is not None else None,
+        "events": events,
+        "events_per_sec": round(events / wall_s, 1) if wall_s else None,
+        "points": result.rows(),
+    }
+    (results_dir / f"BENCH_{slug}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -8,7 +8,7 @@ from repro.experiments import ComparisonExperiment
 def test_fig10a_comparison_download_time(benchmark, bench_config):
     experiment = ComparisonExperiment(config=bench_config, wifi_ranges=(60.0,))
     result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
-    report(result)
+    report(result, benchmark)
 
     labels = {point.label for point in result.points}
     assert {"DAPES", "Bithoc", "Ekta"} <= labels

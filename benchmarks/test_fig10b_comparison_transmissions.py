@@ -8,7 +8,7 @@ from repro.experiments import ComparisonExperiment
 def test_fig10b_comparison_transmissions(benchmark, bench_config):
     experiment = ComparisonExperiment(config=bench_config, wifi_ranges=(60.0,))
     result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
-    report(result)
+    report(result, benchmark)
 
     series = result.series("transmissions")
     dapes = sum(series["DAPES"]) / len(series["DAPES"])

@@ -8,7 +8,7 @@ from repro.experiments import RpfStrategyExperiment
 def test_fig9a_rpf_download_time(benchmark, bench_config):
     experiment = RpfStrategyExperiment(config=bench_config, wifi_ranges=BENCH_WIFI_RANGES)
     result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
-    report(result)
+    report(result, benchmark)
 
     assert result.points, "the sweep must produce data points"
     # Every variant must actually distribute the collection.

@@ -8,7 +8,7 @@ from repro.experiments import PebaExperiment
 def test_fig9b_peba_transmissions(benchmark, bench_config):
     experiment = PebaExperiment(config=bench_config, wifi_ranges=BENCH_WIFI_RANGES)
     result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
-    report(result)
+    report(result, benchmark)
 
     assert result.points
     assert all(point.transmissions > 0 for point in result.points)

@@ -12,7 +12,7 @@ def test_fig9c_bitmaps_before_data(benchmark, bench_config):
         bitmap_budgets=(1, 2, 4, None),
     )
     result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
-    report(result)
+    report(result, benchmark)
 
     assert result.points
     labels = {point.label for point in result.points}

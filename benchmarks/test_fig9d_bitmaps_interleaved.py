@@ -12,7 +12,7 @@ def test_fig9d_bitmaps_interleaved(benchmark, bench_config):
         bitmap_budgets=(1, 2, 4, None),
     )
     result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
-    report(result)
+    report(result, benchmark)
 
     assert result.points
     assert all(point.completion_ratio > 0.5 for point in result.points)

@@ -10,7 +10,7 @@ def test_fig9e_varying_number_of_files(benchmark, quick_config):
         config=quick_config, wifi_ranges=(60.0,), count_factors=(1, 3)
     )
     result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
-    report(result)
+    report(result, benchmark)
 
     assert result.points
     # Paper claim (Fig. 9e): the download time grows with the amount of data.

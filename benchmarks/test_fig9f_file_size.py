@@ -10,7 +10,7 @@ def test_fig9f_varying_file_size(benchmark, quick_config):
         config=quick_config, wifi_ranges=(60.0,), size_factors=(1, 5)
     )
     result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
-    report(result)
+    report(result, benchmark)
 
     assert result.points
     # Paper claim (Fig. 9f): the download time grows with the file size.

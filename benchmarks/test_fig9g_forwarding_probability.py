@@ -10,7 +10,7 @@ def test_fig9g_forwarding_probability_download_time(benchmark, bench_config):
         config=bench_config, wifi_ranges=(60.0,), probabilities=(None, 0.2, 0.4)
     )
     result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
-    report(result)
+    report(result, benchmark)
 
     assert result.points
     labels = {point.label for point in result.points}

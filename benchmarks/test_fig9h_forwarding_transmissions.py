@@ -10,7 +10,7 @@ def test_fig9h_forwarding_probability_transmissions(benchmark, bench_config):
         config=bench_config, wifi_ranges=(60.0,), probabilities=(None, 0.2, 0.6)
     )
     result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
-    report(result)
+    report(result, benchmark)
 
     assert result.points
     # Paper claim (Fig. 9h): forwarding more Interests increases the overhead.

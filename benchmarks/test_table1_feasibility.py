@@ -9,7 +9,7 @@ def test_table1_feasibility_study(benchmark):
     config = ExperimentConfig.small().with_overrides(trials=1, max_duration=400.0)
     study = FeasibilityStudy(config=config)
     result = benchmark.pedantic(study.run, rounds=1, iterations=1)
-    report(result)
+    report(result, benchmark)
 
     rows = {point.parameters["scenario"]: point for point in result.points}
     assert set(rows) == {1, 2, 3}

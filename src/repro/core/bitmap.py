@@ -13,13 +13,14 @@ from typing import Iterable, Iterator, List, Sequence
 class Bitmap:
     """A fixed-length bitmap over the packets of one collection."""
 
-    __slots__ = ("_bits", "_size")
+    __slots__ = ("_bits", "_size", "_count")
 
     def __init__(self, size: int, set_bits: Iterable[int] = ()):  # noqa: D107
         if size < 0:
             raise ValueError("bitmap size must be non-negative")
         self._size = size
         self._bits = bytearray((size + 7) // 8)
+        self._count = 0
         for index in set_bits:
             self.set(index)
 
@@ -39,17 +40,21 @@ class Bitmap:
     def set(self, index: int, value: bool = True) -> None:
         """Set (or clear) the bit for packet ``index``."""
         self._check(index)
-        byte, offset = divmod(index, 8)
+        byte, offset = index >> 3, index & 7
+        mask = 1 << offset
+        present = self._bits[byte] & mask
         if value:
-            self._bits[byte] |= 1 << offset
-        else:
-            self._bits[byte] &= ~(1 << offset)
+            if not present:
+                self._bits[byte] |= mask
+                self._count += 1
+        elif present:
+            self._bits[byte] &= ~mask
+            self._count -= 1
 
     def get(self, index: int) -> bool:
         """Whether the peer has packet ``index``."""
         self._check(index)
-        byte, offset = divmod(index, 8)
-        return bool(self._bits[byte] & (1 << offset))
+        return bool(self._bits[index >> 3] & (1 << (index & 7)))
 
     def __getitem__(self, index: int) -> bool:
         return self.get(index)
@@ -67,8 +72,8 @@ class Bitmap:
 
     # ------------------------------------------------------------- counting
     def count(self) -> int:
-        """Number of packets the peer has."""
-        return sum(bin(byte).count("1") for byte in self._bits)
+        """Number of packets the peer has (maintained incrementally)."""
+        return self._count
 
     def missing_count(self) -> int:
         """Number of packets the peer is missing."""
@@ -92,6 +97,7 @@ class Bitmap:
         self._check_compatible(other)
         result = Bitmap(self._size)
         result._bits = bytearray(a | b for a, b in zip(self._bits, other._bits))
+        result._recount()
         return result
 
     def intersection(self, other: "Bitmap") -> "Bitmap":
@@ -99,6 +105,7 @@ class Bitmap:
         self._check_compatible(other)
         result = Bitmap(self._size)
         result._bits = bytearray(a & b for a, b in zip(self._bits, other._bits))
+        result._recount()
         return result
 
     def difference(self, other: "Bitmap") -> "Bitmap":
@@ -106,7 +113,12 @@ class Bitmap:
         self._check_compatible(other)
         result = Bitmap(self._size)
         result._bits = bytearray(a & ~b & 0xFF for a, b in zip(self._bits, other._bits))
+        result._recount()
         return result
+
+    def _recount(self) -> None:
+        """Resynchronize the cached popcount after a bulk ``_bits`` rewrite."""
+        self._count = sum(bin(byte).count("1") for byte in self._bits)
 
     def _check_compatible(self, other: "Bitmap") -> None:
         if self._size != other._size:
@@ -129,6 +141,7 @@ class Bitmap:
         extra_bits = expected * 8 - size
         if extra_bits:
             bitmap._bits[-1] &= (1 << (8 - extra_bits)) - 1
+        bitmap._recount()
         return bitmap
 
     @property
@@ -139,6 +152,7 @@ class Bitmap:
     def copy(self) -> "Bitmap":
         clone = Bitmap(self._size)
         clone._bits = bytearray(self._bits)
+        clone._count = self._count
         return clone
 
     # -------------------------------------------------------------- helpers

@@ -28,8 +28,21 @@ from repro.experiments.fig9_rpf import PebaExperiment, RpfStrategyExperiment
 from repro.experiments.fig9_scaling import FileCountExperiment, FileSizeExperiment
 from repro.experiments.metrics import RunResult, SweepResult, percentile
 from repro.experiments.runner import run_protocol_trial, run_trials
-from repro.experiments.scenario import ExperimentConfig
+from repro.experiments.scenario import (
+    ExperimentConfig,
+    Scenario,
+    ScenarioBuilder,
+    available_protocols,
+    get_builder,
+    register_protocol,
+)
 from repro.experiments.table1_feasibility import FeasibilityStudy
+from repro.experiments.topology import (
+    Topology,
+    available_topologies,
+    get_topology,
+    register_topology,
+)
 
 __all__ = [
     "BitmapsBeforeDataExperiment",
@@ -43,8 +56,17 @@ __all__ = [
     "PebaExperiment",
     "RpfStrategyExperiment",
     "RunResult",
+    "Scenario",
+    "ScenarioBuilder",
     "SweepResult",
+    "Topology",
+    "available_protocols",
+    "available_topologies",
+    "get_builder",
+    "get_topology",
     "percentile",
+    "register_protocol",
+    "register_topology",
     "run_protocol_trial",
     "run_trials",
 ]

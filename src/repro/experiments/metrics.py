@@ -51,6 +51,7 @@ class RunResult:
     collisions: int = 0
     losses: int = 0
     duration: float = 0.0
+    events: int = 0
     node_loads: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
@@ -163,6 +164,10 @@ def aggregate_trials(
     download = percentile([result.mean_download_time for result in results], q)
     transmissions = percentile([float(result.transmissions) for result in results], q)
     completion = mean([result.completion_ratio for result in results])
+    extras: Dict[str, float] = {}
+    total_events = sum(result.events for result in results)
+    if total_events:
+        extras["events"] = float(total_events)
     return SweepPoint(
         label=label,
         parameters=dict(parameters),
@@ -170,4 +175,5 @@ def aggregate_trials(
         transmissions=transmissions,
         completion_ratio=completion,
         trials=len(results),
+        extras=extras,
     )

@@ -1,105 +1,57 @@
-"""Trial runners: execute one scenario and collect the paper's metrics."""
+"""Trial runners: execute scenarios and collect the paper's metrics.
+
+One generic :func:`run_protocol_trial` drives any protocol registered in
+:mod:`repro.experiments.scenario` through the uniform :class:`Scenario`
+hooks, and :func:`run_trials` fans the per-trial work out over a process
+pool when :attr:`ExperimentConfig.workers` is above one.  Parallel execution
+is seed-deterministic: every trial derives its own seed from
+``config.base_seed`` exactly as in the serial path and results are
+aggregated in trial order, so the resulting :class:`SweepPoint` is identical
+whichever mode produced it.
+"""
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional
 
 from repro.core import DapesConfig
 from repro.experiments.metrics import RunResult, SweepPoint, aggregate_trials
-from repro.experiments.scenario import (
-    ExperimentConfig,
-    build_dapes_scenario,
-    build_ip_scenario,
-)
+from repro.experiments.scenario import ExperimentConfig, get_builder
 
 
-def run_dapes_trial(
+def run_protocol_trial(
+    protocol: str,
     config: ExperimentConfig,
     seed: int,
     dapes_config: Optional[DapesConfig] = None,
     parameters: Optional[Dict[str, object]] = None,
 ) -> RunResult:
-    """Run one DAPES trial and collect download times and overhead."""
-    scenario = build_dapes_scenario(config, seed, dapes_config=dapes_config)
+    """Run one trial of any registered protocol and collect the paper's metrics."""
+    scenario = get_builder(protocol).build(config, seed, dapes_config=dapes_config)
     sim = scenario.sim
     expected = len(scenario.downloader_ids)
     completed: set = set()
 
-    def _on_complete(peer, collection_id, when) -> None:
-        if collection_id != scenario.collection_id:
-            return
-        completed.add(peer.node_id)
+    def _on_complete(node_id: str, when: float) -> None:
+        completed.add(node_id)
         if len(completed) >= expected:
             sim.stop()
 
-    for node_id in scenario.downloader_ids:
-        scenario.nodes[node_id].peer.on_collection_complete(_on_complete)
-
+    scenario.watch_completion(_on_complete)
     scenario.start()
     sim.run(until=config.max_duration)
 
     download_times: Dict[str, float] = {}
     incomplete: List[str] = []
     for node_id in scenario.downloader_ids:
-        elapsed = scenario.nodes[node_id].peer.download_time(scenario.collection_id)
+        elapsed = scenario.download_time(node_id)
         if elapsed is None:
             incomplete.append(node_id)
         else:
             download_times[node_id] = elapsed
 
-    node_loads = {
-        node_id: node.peer.load.as_dict() for node_id, node in scenario.nodes.items()
-    }
-    stats = scenario.medium.stats
-    return RunResult(
-        protocol="dapes",
-        seed=seed,
-        parameters=dict(parameters or {}),
-        download_times=download_times,
-        incomplete_nodes=incomplete,
-        transmissions=stats.frames_transmitted,
-        transmissions_by_kind=dict(stats.transmitted_by_kind),
-        transmissions_by_protocol=dict(stats.transmitted_by_protocol),
-        collisions=stats.collisions,
-        losses=stats.losses,
-        duration=sim.now,
-        node_loads=node_loads,
-    )
-
-
-def run_ip_trial(
-    config: ExperimentConfig,
-    seed: int,
-    protocol: str,
-    parameters: Optional[Dict[str, object]] = None,
-) -> RunResult:
-    """Run one Bithoc or Ekta trial and collect the same metrics."""
-    scenario = build_ip_scenario(config, seed, protocol)
-    sim = scenario.sim
-    expected = len(scenario.downloader_ids)
-    completed: set = set()
-
-    def _on_complete(peer, collection_id, when) -> None:
-        completed.add(peer.node_id)
-        if len(completed) >= expected:
-            sim.stop()
-
-    for node_id in scenario.downloader_ids:
-        scenario.peers[node_id].on_complete(_on_complete)
-
-    scenario.start()
-    sim.run(until=config.max_duration)
-
-    download_times: Dict[str, float] = {}
-    incomplete: List[str] = []
-    for node_id in scenario.downloader_ids:
-        elapsed = scenario.peers[node_id].download_time()
-        if elapsed is None:
-            incomplete.append(node_id)
-        else:
-            download_times[node_id] = elapsed
-
-    node_loads = {node_id: peer.load.as_dict() for node_id, peer in scenario.peers.items()}
     stats = scenario.medium.stats
     return RunResult(
         protocol=protocol,
@@ -113,23 +65,46 @@ def run_ip_trial(
         collisions=stats.collisions,
         losses=stats.losses,
         duration=sim.now,
-        node_loads=node_loads,
+        events=sim.events_processed,
+        node_loads=scenario.node_loads(),
     )
 
 
-def run_protocol_trial(
-    protocol: str,
+def run_dapes_trial(
     config: ExperimentConfig,
     seed: int,
     dapes_config: Optional[DapesConfig] = None,
     parameters: Optional[Dict[str, object]] = None,
 ) -> RunResult:
-    """Dispatch a single trial by protocol name ('dapes', 'bithoc', 'ekta')."""
-    if protocol == "dapes":
-        return run_dapes_trial(config, seed, dapes_config=dapes_config, parameters=parameters)
-    if protocol in ("bithoc", "ekta"):
-        return run_ip_trial(config, seed, protocol, parameters=parameters)
-    raise ValueError(f"unknown protocol {protocol!r}")
+    """Run one DAPES trial and collect download times and overhead."""
+    return run_protocol_trial(
+        "dapes", config, seed, dapes_config=dapes_config, parameters=parameters
+    )
+
+
+def run_ip_trial(
+    config: ExperimentConfig,
+    seed: int,
+    protocol: str,
+    parameters: Optional[Dict[str, object]] = None,
+) -> RunResult:
+    """Run one Bithoc or Ekta trial and collect the same metrics."""
+    if protocol not in ("bithoc", "ekta"):
+        raise ValueError(f"unknown IP baseline {protocol!r}")
+    return run_protocol_trial(protocol, config, seed, parameters=parameters)
+
+
+def trial_seeds(config: ExperimentConfig) -> List[int]:
+    """The deterministic per-trial seeds used by serial and parallel runs alike."""
+    return [config.base_seed + trial * 1009 for trial in range(config.trials)]
+
+
+def _pool_trial(args) -> RunResult:
+    """Module-level worker so the process pool can pickle it."""
+    protocol, config, seed, dapes_config, parameters = args
+    return run_protocol_trial(
+        protocol, config, seed, dapes_config=dapes_config, parameters=parameters
+    )
 
 
 def run_trials(
@@ -138,12 +113,28 @@ def run_trials(
     label: str,
     parameters: Optional[Dict[str, object]] = None,
     dapes_config: Optional[DapesConfig] = None,
+    workers: Optional[int] = None,
 ) -> SweepPoint:
-    """Run ``config.trials`` trials and aggregate them into one sweep point."""
-    results = []
-    for trial in range(config.trials):
-        seed = config.base_seed + trial * 1009
-        results.append(
+    """Run ``config.trials`` trials and aggregate them into one sweep point.
+
+    ``workers`` (default :attr:`ExperimentConfig.workers`) above one runs the
+    trials on a process pool; the aggregate is identical to the serial path
+    because seeds and aggregation order do not depend on the execution mode.
+    """
+    workers = config.workers if workers is None else workers
+    seeds = trial_seeds(config)
+    results: Optional[List[RunResult]] = None
+    if workers > 1 and len(seeds) > 1:
+        tasks = [(protocol, config, seed, dapes_config, parameters) for seed in seeds]
+        try:
+            with ProcessPoolExecutor(max_workers=min(workers, len(seeds))) as pool:
+                results = list(pool.map(_pool_trial, tasks))
+        except (OSError, BrokenProcessPool):
+            # Process pools may be unavailable (restricted sandboxes); the
+            # serial path below produces the same aggregate.
+            results = None
+    if results is None:
+        results = [
             run_protocol_trial(
                 protocol,
                 config,
@@ -151,5 +142,6 @@ def run_trials(
                 dapes_config=dapes_config,
                 parameters=parameters,
             )
-        )
+            for seed in seeds
+        ]
     return aggregate_trials(label, parameters or {}, results, q=config.percentile)

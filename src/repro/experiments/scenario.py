@@ -1,28 +1,34 @@
-"""Scenario builders: the paper's simulation topology for every protocol.
+"""Scenario builders: pluggable topology x protocol experiment assembly.
 
-The simulated topology (Fig. 7) is a 300 m x 300 m area with 4 stationary
-nodes (data repositories) and 40 mobile nodes moving with random direction
-and speed (2-10 m/s).  One mobile node produces the file collection; the
-other 19 mobile downloaders and the 4 stationary nodes download it.  Of the
-remaining 20 mobile nodes, half are pure forwarders and half are
-intermediate nodes that understand the protocol semantics (DAPES nodes not
-interested in the collection, or plain routing forwarders for the IP
-baselines).
+Historically this module hard-coded the paper's Fig. 7 topology (a 300 m x
+300 m area with 4 stationary repositories and 40 mobile nodes) into one
+builder per protocol family.  It now separates the two axes:
+
+* **Topology** — where nodes sit and how they move — comes from the registry
+  in :mod:`repro.experiments.topology` (``quadrant`` reproduces Fig. 7;
+  ``clusters`` and ``corridor`` open new workloads), selected by
+  :attr:`ExperimentConfig.topology`.
+* **Protocol** — what runs on the nodes — comes from the
+  :func:`register_protocol` registry in this module.  Every builder wires
+  the same node roles (producer, measured downloaders, intermediate nodes,
+  pure forwarders) and returns a :class:`Scenario` exposing the uniform
+  hooks the trial runner needs.
 
 :class:`ExperimentConfig` carries both the paper-scale parameters
 (:meth:`ExperimentConfig.paper`) and reduced-scale presets used by the test
 suite and the benchmark harness (:meth:`ExperimentConfig.small`,
-:meth:`ExperimentConfig.tiny`); EXPERIMENTS.md documents the scaling.
+:meth:`ExperimentConfig.tiny`); EXPERIMENTS.md documents the scaling, the
+topology catalogue and the parallel trial runner.
 """
 
 from __future__ import annotations
 
+from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Type
 
 from repro.crypto.keys import KeyPair
 from repro.crypto.trust import TrustAnchorStore
-from repro.mobility import CompositeMobility, RandomDirectionMobility, StaticPlacement
 from repro.simulation import Simulator
 from repro.wireless import ChannelConfig, WirelessMedium
 from repro.baselines import DhtKeySpace, SwarmDescriptor, build_bithoc_peer, build_ekta_peer
@@ -34,8 +40,8 @@ from repro.core import (
     PureForwarderNode,
     build_dapes_peer,
     build_pure_forwarder,
-    build_repository,
 )
+from repro.experiments.topology import get_topology
 
 PRODUCER_IDENTITY = "/residents/producer"
 COLLECTION_LABEL = "damaged-bridge"
@@ -56,6 +62,7 @@ class ExperimentConfig:
     max_speed: float = 10.0
     wifi_range: float = 60.0
     loss_rate: float = 0.10
+    topology: str = "quadrant"
 
     # Workload (paper defaults: ten 1 MB files of 1 KB packets).
     num_files: int = 10
@@ -67,6 +74,8 @@ class ExperimentConfig:
     trials: int = 10
     base_seed: int = 42
     percentile: float = 90.0
+    workers: int = 1
+    neighbor_index: str = "grid"
 
     # DAPES protocol configuration.
     dapes: DapesConfig = field(default_factory=DapesConfig)
@@ -133,44 +142,11 @@ class ExperimentConfig:
         return per_file * self.num_files
 
     def channel(self) -> ChannelConfig:
-        return ChannelConfig(wifi_range=self.wifi_range, loss_rate=self.loss_rate)
-
-
-def _node_names(config: ExperimentConfig) -> Dict[str, List[str]]:
-    """Stable node ids per role."""
-    return {
-        "stationary": [f"repo-{index}" for index in range(config.stationary_nodes)],
-        "downloaders": [f"mobile-{index}" for index in range(config.mobile_downloaders)],
-        "pure": [f"fwd-{index}" for index in range(config.pure_forwarders)],
-        "intermediate": [f"relay-{index}" for index in range(config.intermediate_nodes)],
-    }
-
-
-def _build_mobility(config: ExperimentConfig, sim: Simulator, names: Dict[str, List[str]]) -> CompositeMobility:
-    mobility = CompositeMobility()
-    static = StaticPlacement()
-    # Repositories sit at the four quadrant centres of the area (Fig. 7).
-    anchors = [
-        (config.area_size * 0.25, config.area_size * 0.25),
-        (config.area_size * 0.75, config.area_size * 0.25),
-        (config.area_size * 0.25, config.area_size * 0.75),
-        (config.area_size * 0.75, config.area_size * 0.75),
-    ]
-    for index, node_id in enumerate(names["stationary"]):
-        x, y = anchors[index % len(anchors)]
-        static.place(node_id, x, y)
-        mobility.assign(node_id, static)
-    mobile = RandomDirectionMobility(
-        width=config.area_size,
-        height=config.area_size,
-        min_speed=config.min_speed,
-        max_speed=config.max_speed,
-        rng=sim.rng("mobility"),
-    )
-    for node_id in names["downloaders"] + names["pure"] + names["intermediate"]:
-        mobile.add_node(node_id)
-        mobility.assign(node_id, mobile)
-    return mobility
+        return ChannelConfig(
+            wifi_range=self.wifi_range,
+            loss_rate=self.loss_rate,
+            neighbor_index=self.neighbor_index,
+        )
 
 
 def build_collection(config: ExperimentConfig) -> FileCollection:
@@ -186,19 +162,43 @@ def build_collection(config: ExperimentConfig) -> FileCollection:
     return builder.build()
 
 
+# =============================================================== scenarios
 @dataclass
-class DapesScenario:
-    """A fully wired DAPES simulation ready to run."""
+class Scenario(ABC):
+    """A fully wired simulation plus the uniform hooks the runner needs."""
 
     sim: Simulator
     medium: WirelessMedium
     config: ExperimentConfig
-    collection: FileCollection
-    collection_id: str
-    producer_id: str
+    protocol: str
     downloader_ids: List[str]
-    nodes: Dict[str, DapesNode]
-    pure_forwarders: Dict[str, PureForwarderNode]
+
+    @abstractmethod
+    def start(self) -> None:
+        """Start every node's application."""
+
+    @abstractmethod
+    def watch_completion(self, callback: Callable[[str, float], None]) -> None:
+        """Invoke ``callback(node_id, when)`` as each measured downloader finishes."""
+
+    @abstractmethod
+    def download_time(self, node_id: str) -> Optional[float]:
+        """Seconds ``node_id`` took to finish, or ``None`` if it has not."""
+
+    @abstractmethod
+    def node_loads(self) -> Dict[str, Dict[str, float]]:
+        """Per-node load counters for the run result."""
+
+
+@dataclass
+class DapesScenario(Scenario):
+    """A fully wired DAPES simulation ready to run."""
+
+    collection: FileCollection = None
+    collection_id: str = ""
+    producer_id: str = ""
+    nodes: Dict[str, DapesNode] = field(default_factory=dict)
+    pure_forwarders: Dict[str, PureForwarderNode] = field(default_factory=dict)
 
     def start(self) -> None:
         for node in self.nodes.values():
@@ -207,82 +207,28 @@ class DapesScenario:
     def downloaders(self) -> List[DapesNode]:
         return [self.nodes[node_id] for node_id in self.downloader_ids]
 
+    def watch_completion(self, callback: Callable[[str, float], None]) -> None:
+        def _on_complete(peer, collection_id, when) -> None:
+            if collection_id == self.collection_id:
+                callback(peer.node_id, when)
 
-def build_dapes_scenario(
-    config: ExperimentConfig,
-    seed: int,
-    dapes_config: Optional[DapesConfig] = None,
-) -> DapesScenario:
-    """Assemble the Fig. 7 topology with DAPES on every participating node."""
-    dapes_config = dapes_config if dapes_config is not None else config.dapes
-    sim = Simulator(seed=seed)
-    names = _node_names(config)
-    mobility = _build_mobility(config, sim, names)
-    medium = WirelessMedium(sim, mobility, config.channel())
+        for node_id in self.downloader_ids:
+            self.nodes[node_id].peer.on_collection_complete(_on_complete)
 
-    producer_key = KeyPair.generate(PRODUCER_IDENTITY, seed=b"producer-key")
-    trust = TrustAnchorStore()
-    trust.add_anchor_key(producer_key)
+    def download_time(self, node_id: str) -> Optional[float]:
+        return self.nodes[node_id].peer.download_time(self.collection_id)
 
-    collection = build_collection(config)
-    collection_id = collection.collection_id
-
-    nodes: Dict[str, DapesNode] = {}
-    pure: Dict[str, PureForwarderNode] = {}
-
-    producer_id = names["downloaders"][0]
-    downloader_ids = names["downloaders"][1:] + names["stationary"]
-
-    # Mobile peers (the producer plus the measured downloaders).
-    for node_id in names["downloaders"]:
-        node = build_dapes_peer(sim, medium, node_id, config=dapes_config, trust=trust,
-                                key=producer_key if node_id == producer_id else None)
-        nodes[node_id] = node
-
-    # Stationary repositories also download the collection of interest.
-    for node_id in names["stationary"]:
-        node = build_dapes_peer(sim, medium, node_id, config=dapes_config, trust=trust, cs_capacity=16384)
-        nodes[node_id] = node
-
-    # Intermediate DAPES nodes: run the application but join nothing.
-    for node_id in names["intermediate"]:
-        nodes[node_id] = build_dapes_peer(sim, medium, node_id, config=dapes_config, trust=trust)
-
-    # Pure forwarders: NDN only.
-    for node_id in names["pure"]:
-        pure[node_id] = build_pure_forwarder(
-            sim, medium, node_id, forward_probability=dapes_config.forwarding_probability
-        )
-
-    metadata = nodes[producer_id].peer.publish_collection(collection)
-    for node_id in downloader_ids:
-        nodes[node_id].peer.join(metadata.collection)
-
-    return DapesScenario(
-        sim=sim,
-        medium=medium,
-        config=config,
-        collection=collection,
-        collection_id=collection_id,
-        producer_id=producer_id,
-        downloader_ids=downloader_ids,
-        nodes=nodes,
-        pure_forwarders=pure,
-    )
+    def node_loads(self) -> Dict[str, Dict[str, float]]:
+        return {node_id: node.peer.load.as_dict() for node_id, node in self.nodes.items()}
 
 
 @dataclass
-class IpScenario:
+class IpScenario(Scenario):
     """A fully wired Bithoc or Ekta simulation ready to run."""
 
-    sim: Simulator
-    medium: WirelessMedium
-    config: ExperimentConfig
-    protocol: str
-    descriptor: SwarmDescriptor
-    seed_id: str
-    downloader_ids: List[str]
-    peers: Dict[str, object]
+    descriptor: SwarmDescriptor = None
+    seed_id: str = ""
+    peers: Dict[str, object] = field(default_factory=dict)
 
     def start(self) -> None:
         for peer in self.peers.values():
@@ -291,54 +237,202 @@ class IpScenario:
     def downloaders(self) -> List[object]:
         return [self.peers[node_id] for node_id in self.downloader_ids]
 
+    def watch_completion(self, callback: Callable[[str, float], None]) -> None:
+        def _on_complete(peer, collection_id, when) -> None:
+            callback(peer.node_id, when)
+
+        for node_id in self.downloader_ids:
+            self.peers[node_id].on_complete(_on_complete)
+
+    def download_time(self, node_id: str) -> Optional[float]:
+        return self.peers[node_id].download_time()
+
+    def node_loads(self) -> Dict[str, Dict[str, float]]:
+        return {node_id: peer.load.as_dict() for node_id, peer in self.peers.items()}
+
+
+# ================================================================ builders
+_BUILDERS: Dict[str, Type["ScenarioBuilder"]] = {}
+
+
+def register_protocol(name: str):
+    """Class decorator: make a :class:`ScenarioBuilder` available under ``name``."""
+
+    def decorator(cls: Type["ScenarioBuilder"]) -> Type["ScenarioBuilder"]:
+        if name in _BUILDERS:
+            raise ValueError(f"protocol {name!r} is already registered")
+        _BUILDERS[name] = cls
+        return cls
+
+    return decorator
+
+
+def get_builder(protocol: str) -> "ScenarioBuilder":
+    """Instantiate the scenario builder registered for ``protocol``."""
+    try:
+        cls = _BUILDERS[protocol]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {protocol!r}; available: {sorted(_BUILDERS)}"
+        ) from None
+    return cls(protocol)
+
+
+def available_protocols() -> List[str]:
+    """Names of all registered protocols."""
+    return sorted(_BUILDERS)
+
+
+class ScenarioBuilder(ABC):
+    """Assembles the configured topology with one protocol on every node."""
+
+    def __init__(self, protocol: str):
+        self.protocol = protocol
+
+    def world(self, config: ExperimentConfig, seed: int):
+        """The parts every protocol shares: sim, node names, mobility, medium."""
+        sim = Simulator(seed=seed)
+        topology = get_topology(config.topology)
+        names = topology.node_names(config)
+        mobility = topology.build_mobility(config, sim, names)
+        medium = WirelessMedium(sim, mobility, config.channel())
+        return sim, names, medium
+
+    @abstractmethod
+    def build(
+        self,
+        config: ExperimentConfig,
+        seed: int,
+        dapes_config: Optional[DapesConfig] = None,
+    ) -> Scenario:
+        """Assemble a ready-to-run scenario."""
+
+
+@register_protocol("dapes")
+class DapesScenarioBuilder(ScenarioBuilder):
+    """DAPES on every participating node, pure NDN forwarders elsewhere."""
+
+    def build(self, config, seed, dapes_config=None):
+        dapes_config = dapes_config if dapes_config is not None else config.dapes
+        sim, names, medium = self.world(config, seed)
+
+        producer_key = KeyPair.generate(PRODUCER_IDENTITY, seed=b"producer-key")
+        trust = TrustAnchorStore()
+        trust.add_anchor_key(producer_key)
+
+        collection = build_collection(config)
+        collection_id = collection.collection_id
+
+        nodes: Dict[str, DapesNode] = {}
+        pure: Dict[str, PureForwarderNode] = {}
+
+        producer_id = names["downloaders"][0]
+        downloader_ids = names["downloaders"][1:] + names["stationary"]
+
+        # Mobile peers (the producer plus the measured downloaders).
+        for node_id in names["downloaders"]:
+            node = build_dapes_peer(sim, medium, node_id, config=dapes_config, trust=trust,
+                                    key=producer_key if node_id == producer_id else None)
+            nodes[node_id] = node
+
+        # Stationary repositories also download the collection of interest.
+        for node_id in names["stationary"]:
+            node = build_dapes_peer(sim, medium, node_id, config=dapes_config, trust=trust,
+                                    cs_capacity=16384)
+            nodes[node_id] = node
+
+        # Intermediate DAPES nodes: run the application but join nothing.
+        for node_id in names["intermediate"]:
+            nodes[node_id] = build_dapes_peer(sim, medium, node_id, config=dapes_config, trust=trust)
+
+        # Pure forwarders: NDN only.
+        for node_id in names["pure"]:
+            pure[node_id] = build_pure_forwarder(
+                sim, medium, node_id, forward_probability=dapes_config.forwarding_probability
+            )
+
+        metadata = nodes[producer_id].peer.publish_collection(collection)
+        for node_id in downloader_ids:
+            nodes[node_id].peer.join(metadata.collection)
+
+        return DapesScenario(
+            sim=sim,
+            medium=medium,
+            config=config,
+            protocol=self.protocol,
+            downloader_ids=downloader_ids,
+            collection=collection,
+            collection_id=collection_id,
+            producer_id=producer_id,
+            nodes=nodes,
+            pure_forwarders=pure,
+        )
+
+
+@register_protocol("bithoc")
+@register_protocol("ekta")
+class IpScenarioBuilder(ScenarioBuilder):
+    """One of the IP baselines (Bithoc or Ekta) on every node."""
+
+    def build(self, config, seed, dapes_config=None):
+        sim, names, medium = self.world(config, seed)
+
+        per_file = max(1, -(-config.file_size // config.packet_size))
+        descriptor = SwarmDescriptor(
+            collection_id=f"{COLLECTION_LABEL}-{COLLECTION_TIMESTAMP}",
+            total_pieces=per_file * config.num_files,
+            piece_size=config.packet_size,
+            files=config.num_files,
+        )
+
+        seed_id = names["downloaders"][0]
+        downloader_ids = names["downloaders"][1:] + names["stationary"]
+        swarm_members = [seed_id] + downloader_ids
+
+        peers: Dict[str, object] = {}
+        keyspace = DhtKeySpace()
+        for node_id in swarm_members:
+            if self.protocol == "bithoc":
+                peer = build_bithoc_peer(sim, medium, node_id, descriptor, seed_all=(node_id == seed_id))
+            else:
+                peer = build_ekta_peer(sim, medium, node_id, descriptor, keyspace,
+                                       seed_all=(node_id == seed_id))
+            peers[node_id] = peer
+
+        # The remaining nodes forward packets based on their routing tables.
+        for node_id in names["pure"] + names["intermediate"]:
+            if self.protocol == "bithoc":
+                build_bithoc_peer(sim, medium, node_id, descriptor, forwarder_only=True)
+            else:
+                build_ekta_peer(sim, medium, node_id, descriptor, keyspace, forwarder_only=True)
+
+        for peer in peers.values():
+            peer.set_swarm(swarm_members)
+
+        return IpScenario(
+            sim=sim,
+            medium=medium,
+            config=config,
+            protocol=self.protocol,
+            downloader_ids=downloader_ids,
+            descriptor=descriptor,
+            seed_id=seed_id,
+            peers=peers,
+        )
+
+
+# ------------------------------------------------- backwards-compatible API
+def build_dapes_scenario(
+    config: ExperimentConfig,
+    seed: int,
+    dapes_config: Optional[DapesConfig] = None,
+) -> DapesScenario:
+    """Assemble the configured topology with DAPES on every participating node."""
+    return get_builder("dapes").build(config, seed, dapes_config=dapes_config)
+
 
 def build_ip_scenario(config: ExperimentConfig, seed: int, protocol: str) -> IpScenario:
     """Assemble the same topology with one of the IP baselines on every node."""
     if protocol not in ("bithoc", "ekta"):
         raise ValueError(f"unknown IP baseline {protocol!r}")
-    sim = Simulator(seed=seed)
-    names = _node_names(config)
-    mobility = _build_mobility(config, sim, names)
-    medium = WirelessMedium(sim, mobility, config.channel())
-
-    per_file = max(1, -(-config.file_size // config.packet_size))
-    descriptor = SwarmDescriptor(
-        collection_id=f"{COLLECTION_LABEL}-{COLLECTION_TIMESTAMP}",
-        total_pieces=per_file * config.num_files,
-        piece_size=config.packet_size,
-        files=config.num_files,
-    )
-
-    seed_id = names["downloaders"][0]
-    downloader_ids = names["downloaders"][1:] + names["stationary"]
-    swarm_members = [seed_id] + downloader_ids
-
-    peers: Dict[str, object] = {}
-    keyspace = DhtKeySpace()
-    for node_id in swarm_members:
-        if protocol == "bithoc":
-            peer = build_bithoc_peer(sim, medium, node_id, descriptor, seed_all=(node_id == seed_id))
-        else:
-            peer = build_ekta_peer(sim, medium, node_id, descriptor, keyspace, seed_all=(node_id == seed_id))
-        peers[node_id] = peer
-
-    # The remaining 20 nodes forward packets based on their routing tables.
-    for node_id in names["pure"] + names["intermediate"]:
-        if protocol == "bithoc":
-            build_bithoc_peer(sim, medium, node_id, descriptor, forwarder_only=True)
-        else:
-            build_ekta_peer(sim, medium, node_id, descriptor, keyspace, forwarder_only=True)
-
-    for peer in peers.values():
-        peer.set_swarm(swarm_members)
-
-    return IpScenario(
-        sim=sim,
-        medium=medium,
-        config=config,
-        protocol=protocol,
-        descriptor=descriptor,
-        seed_id=seed_id,
-        downloader_ids=downloader_ids,
-        peers=peers,
-    )
+    return get_builder(protocol).build(config, seed)

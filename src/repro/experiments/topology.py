@@ -1,0 +1,195 @@
+"""Pluggable scenario topologies.
+
+A :class:`Topology` decides *where the nodes are and how they move*; the
+protocol builders in :mod:`repro.experiments.scenario` decide *what runs on
+them*.  Keeping the two orthogonal means every protocol can be exercised on
+every topology, and new workloads only need to register a topology here.
+
+Three topologies ship with the harness:
+
+``quadrant``
+    The paper's Fig. 7 setup: stationary repositories at the four quadrant
+    centres of a square area, mobile nodes roaming the whole area with
+    random direction and speed.
+``clusters``
+    Disaster zones: the area splits into four quadrant cells, each with its
+    own repository at the cell centre, and mobile nodes confined to their
+    home cell.  Data crosses zones only through repositories near borders
+    and node encounters along cell edges — a much harsher partitioned
+    workload than ``quadrant``.
+``corridor``
+    A sparse relay chain: a long thin strip (5:1 aspect) with repositories
+    spaced along the centreline and mobile nodes roaming the strip.  Most
+    node pairs are far beyond WiFi range, so delivery leans on multi-hop
+    forwarding and physical data carriers.
+
+Register additional topologies with :func:`register_topology`::
+
+    @register_topology("ring")
+    class RingTopology(Topology):
+        def build_mobility(self, config, sim, names): ...
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Type
+
+from repro.mobility import CompositeMobility, MobilityModel, RandomDirectionMobility, StaticPlacement
+from repro.simulation import Simulator
+
+_TOPOLOGIES: Dict[str, Type["Topology"]] = {}
+
+
+def register_topology(name: str):
+    """Class decorator: make a :class:`Topology` available under ``name``."""
+
+    def decorator(cls: Type["Topology"]) -> Type["Topology"]:
+        if name in _TOPOLOGIES:
+            raise ValueError(f"topology {name!r} is already registered")
+        cls.name = name
+        _TOPOLOGIES[name] = cls
+        return cls
+
+    return decorator
+
+
+def get_topology(name: str) -> "Topology":
+    """Instantiate the topology registered under ``name``."""
+    try:
+        cls = _TOPOLOGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; available: {sorted(_TOPOLOGIES)}"
+        ) from None
+    return cls()
+
+
+def available_topologies() -> List[str]:
+    """Names of all registered topologies."""
+    return sorted(_TOPOLOGIES)
+
+
+class Topology(ABC):
+    """Node naming plus placement/mobility for one scenario layout."""
+
+    name: str = ""
+
+    def node_names(self, config) -> Dict[str, List[str]]:
+        """Stable node ids per role (same roles for every topology)."""
+        return {
+            "stationary": [f"repo-{index}" for index in range(config.stationary_nodes)],
+            "downloaders": [f"mobile-{index}" for index in range(config.mobile_downloaders)],
+            "pure": [f"fwd-{index}" for index in range(config.pure_forwarders)],
+            "intermediate": [f"relay-{index}" for index in range(config.intermediate_nodes)],
+        }
+
+    @abstractmethod
+    def build_mobility(
+        self, config, sim: Simulator, names: Dict[str, List[str]]
+    ) -> MobilityModel:
+        """Place the stationary nodes and wire up mobile-node movement."""
+
+    @staticmethod
+    def mobile_ids(names: Dict[str, List[str]]) -> List[str]:
+        return names["downloaders"] + names["pure"] + names["intermediate"]
+
+
+@register_topology("quadrant")
+class QuadrantTopology(Topology):
+    """The paper's Fig. 7 layout: quadrant-centre repositories, free roaming."""
+
+    def build_mobility(self, config, sim, names):
+        mobility = CompositeMobility()
+        static = StaticPlacement()
+        anchors = [
+            (config.area_size * 0.25, config.area_size * 0.25),
+            (config.area_size * 0.75, config.area_size * 0.25),
+            (config.area_size * 0.25, config.area_size * 0.75),
+            (config.area_size * 0.75, config.area_size * 0.75),
+        ]
+        for index, node_id in enumerate(names["stationary"]):
+            x, y = anchors[index % len(anchors)]
+            static.place(node_id, x, y)
+            mobility.assign(node_id, static)
+        mobile = RandomDirectionMobility(
+            width=config.area_size,
+            height=config.area_size,
+            min_speed=config.min_speed,
+            max_speed=config.max_speed,
+            rng=sim.rng("mobility"),
+        )
+        for node_id in self.mobile_ids(names):
+            mobile.add_node(node_id)
+            mobility.assign(node_id, mobile)
+        return mobility
+
+
+@register_topology("clusters")
+class ClusteredTopology(Topology):
+    """Disaster zones: four quadrant cells, nodes confined to their home cell."""
+
+    GRID = 2  # 2x2 cells
+
+    def build_mobility(self, config, sim, names):
+        mobility = CompositeMobility()
+        static = StaticPlacement()
+        grid = self.GRID
+        cell_size = config.area_size / grid
+        cells = [
+            (column * cell_size, row * cell_size)
+            for row in range(grid)
+            for column in range(grid)
+        ]
+        # One repository at each cell centre (cycling when there are more).
+        for index, node_id in enumerate(names["stationary"]):
+            origin_x, origin_y = cells[index % len(cells)]
+            static.place(node_id, origin_x + cell_size / 2, origin_y + cell_size / 2)
+            mobility.assign(node_id, static)
+        # Mobile nodes are dealt round-robin to cells and never leave them.
+        walkers = [
+            RandomDirectionMobility(
+                width=cell_size,
+                height=cell_size,
+                min_speed=config.min_speed,
+                max_speed=config.max_speed,
+                rng=sim.rng(f"mobility.cell-{index}"),
+                origin=origin,
+            )
+            for index, origin in enumerate(cells)
+        ]
+        for index, node_id in enumerate(self.mobile_ids(names)):
+            walker = walkers[index % len(walkers)]
+            walker.add_node(node_id)
+            mobility.assign(node_id, walker)
+        return mobility
+
+
+@register_topology("corridor")
+class CorridorTopology(Topology):
+    """Sparse relay chain along a long thin strip (length 5x the width)."""
+
+    ASPECT = 5.0
+
+    def build_mobility(self, config, sim, names):
+        mobility = CompositeMobility()
+        static = StaticPlacement()
+        length = config.area_size * self.ASPECT
+        width = config.area_size
+        # Repositories form the relay backbone, evenly spaced on the midline.
+        count = max(len(names["stationary"]), 1)
+        for index, node_id in enumerate(names["stationary"]):
+            x = length * (index + 1) / (count + 1)
+            static.place(node_id, x, width / 2)
+            mobility.assign(node_id, static)
+        mobile = RandomDirectionMobility(
+            width=length,
+            height=width,
+            min_speed=config.min_speed,
+            max_speed=config.max_speed,
+            rng=sim.rng("mobility"),
+        )
+        for node_id in self.mobile_ids(names):
+            mobile.add_node(node_id)
+            mobility.assign(node_id, mobile)
+        return mobility

@@ -26,16 +26,79 @@ class Position:
 class MobilityModel(ABC):
     """A mobility model answers "where is node ``node_id`` at time ``t``?".
 
-    Implementations must be deterministic: querying the same (node, time)
-    twice returns the same position, and queries may arrive out of time
-    order (the wireless medium asks for sender and receiver positions at the
-    moment a frame is transmitted).
+    Implementations must be deterministic *and query-order independent*:
+    querying the same (node, time) twice returns the same position, queries
+    may arrive out of time order, and the trajectory of one node must not
+    depend on how often (or whether) other nodes are queried.  The spatial
+    neighbor index relies on this — it queries only nodes near a sender,
+    while the brute-force reference scan queries everyone, and both must see
+    identical trajectories.
     """
 
     @abstractmethod
     def position(self, node_id: str, time: float) -> Position:
         """Return the position of ``node_id`` at simulated time ``time``."""
 
+    def speed_bound(self) -> float:
+        """An upper bound on any node's speed in m/s (``inf`` if unknown).
+
+        The grid neighbor index uses this to bound how far a node can drift
+        from its snapshotted position; models that cannot provide a bound
+        force the index to refresh its snapshot at every new timestamp.
+        """
+        return math.inf
+
+    def mobility_version(self) -> int:
+        """Monotonic counter bumped whenever placements mutate.
+
+        Teleporting a node (``StaticPlacement.place`` mid-run) or registering
+        a new one sidesteps the ``speed_bound`` drift guarantee, so position
+        caches and grid snapshots treat any version change as a full
+        invalidation.  Lazy trajectory extension is *not* a mutation — it is
+        deterministic and query-order independent.
+        """
+        return 0
+
     def distance(self, node_a: str, node_b: str, time: float) -> float:
         """Distance in metres between two nodes at ``time``."""
         return self.position(node_a, time).distance_to(self.position(node_b, time))
+
+
+class PositionCache:
+    """Per-timestamp memoization wrapper around a mobility model.
+
+    The wireless medium evaluates many positions at the *same* timestamp (the
+    sender plus every candidate receiver of a transmission, repeated for
+    back-to-back frames).  Trajectory evaluation involves segment lookups and
+    trigonometry, so caching the most recent timestamp's answers removes the
+    bulk of that cost.  Only one timestamp is retained: simulation time moves
+    forward, so older entries would never be hit again.
+    """
+
+    __slots__ = ("model", "_time", "_version", "_positions")
+
+    def __init__(self, model: MobilityModel):
+        self.model = model
+        self._time = None
+        self._version = model.mobility_version()
+        self._positions: dict = {}
+
+    def position(self, node_id: str, time: float) -> Position:
+        version = self.model.mobility_version()
+        if time != self._time or version != self._version:
+            self._time = time
+            self._version = version
+            self._positions = {}
+            position = None
+        else:
+            position = self._positions.get(node_id)
+        if position is None:
+            position = self.model.position(node_id, time)
+            self._positions[node_id] = position
+        return position
+
+    def speed_bound(self) -> float:
+        return self.model.speed_bound()
+
+    def mobility_version(self) -> int:
+        return self.model.mobility_version()

@@ -17,10 +17,14 @@ class CompositeMobility(MobilityModel):
 
     def __init__(self):
         self._owners: Dict[str, MobilityModel] = {}
+        self._models: Dict[int, MobilityModel] = {}
+        self._version = 0
 
     def assign(self, node_id: str, model: MobilityModel) -> None:
         """Declare that ``node_id``'s positions come from ``model``."""
         self._owners[node_id] = model
+        self._models[id(model)] = model
+        self._version += 1
 
     def position(self, node_id: str, time: float) -> Position:
         try:
@@ -28,6 +32,16 @@ class CompositeMobility(MobilityModel):
         except KeyError:
             raise KeyError(f"node {node_id!r} is not assigned to any mobility model") from None
         return model.position(node_id, time)
+
+    def speed_bound(self) -> float:
+        return max(
+            (model.speed_bound() for model in self._models.values()), default=0.0
+        )
+
+    def mobility_version(self) -> int:
+        return self._version + sum(
+            model.mobility_version() for model in self._models.values()
+        )
 
     @property
     def node_ids(self) -> list[str]:

@@ -51,7 +51,14 @@ class RandomDirectionMobility(MobilityModel):
     epoch_duration:
         Mean duration of an epoch before a new direction is chosen (s).
     rng:
-        Random source (one of the simulator's named streams).
+        Random source (one of the simulator's named streams).  Used for
+        initial placement and to derive one independent stream per node, so
+        trajectories do not depend on the order position queries arrive in.
+    origin:
+        Lower-left corner of the movement area in metres.  Topologies that
+        confine different node groups to different regions (e.g. clustered
+        disaster zones) offset each group's model instead of sharing one
+        area-wide model.
     """
 
     def __init__(
@@ -62,6 +69,7 @@ class RandomDirectionMobility(MobilityModel):
         max_speed: float = 10.0,
         epoch_duration: float = 20.0,
         rng: random.Random | None = None,
+        origin: Tuple[float, float] = (0.0, 0.0),
     ):
         if min_speed <= 0 or max_speed < min_speed:
             raise ValueError("speed range must satisfy 0 < min_speed <= max_speed")
@@ -70,21 +78,33 @@ class RandomDirectionMobility(MobilityModel):
         self.min_speed = min_speed
         self.max_speed = max_speed
         self.epoch_duration = epoch_duration
+        self.origin = (float(origin[0]), float(origin[1]))
         self._rng = rng if rng is not None else random.Random(0)
+        self._version = 0
+        self._node_rngs: Dict[str, random.Random] = {}
         self._segments: Dict[str, List[_Segment]] = {}
         self._initial: Dict[str, Position] = {}
 
     # ----------------------------------------------------------------- setup
     def add_node(self, node_id: str, initial_position: Position | Tuple[float, float] | None = None) -> None:
         """Register a mobile node, optionally at a fixed initial position."""
+        origin_x, origin_y = self.origin
         if initial_position is None:
-            position = Position(self._rng.uniform(0, self.width), self._rng.uniform(0, self.height))
+            position = Position(
+                self._rng.uniform(origin_x, origin_x + self.width),
+                self._rng.uniform(origin_y, origin_y + self.height),
+            )
         elif isinstance(initial_position, Position):
             position = initial_position
         else:
             position = Position(*initial_position)
         self._initial[node_id] = position
+        # Each node draws its epochs from a private stream seeded at
+        # registration time: trajectories are then a pure function of the
+        # registration order, never of the position-query pattern.
+        self._node_rngs[node_id] = random.Random(self._rng.getrandbits(64))
         self._segments[node_id] = []
+        self._version += 1
 
     @property
     def node_ids(self) -> list[str]:
@@ -104,6 +124,12 @@ class RandomDirectionMobility(MobilityModel):
                 return segment.position_at(time)
         return self._initial[node_id]
 
+    def speed_bound(self) -> float:
+        return self.max_speed
+
+    def mobility_version(self) -> int:
+        return self._version
+
     # -------------------------------------------------------------- internal
     def _extend_until(self, node_id: str, time: float) -> None:
         segments = self._segments[node_id]
@@ -114,12 +140,13 @@ class RandomDirectionMobility(MobilityModel):
             else:
                 start_time = 0.0
                 start = self._initial[node_id]
-            segments.append(self._new_segment(start_time, start))
+            segments.append(self._new_segment(node_id, start_time, start))
 
-    def _new_segment(self, start_time: float, start: Position) -> _Segment:
-        direction = self._rng.uniform(0, 2 * math.pi)
-        speed = self._rng.uniform(self.min_speed, self.max_speed)
-        duration = self._rng.uniform(0.5 * self.epoch_duration, 1.5 * self.epoch_duration)
+    def _new_segment(self, node_id: str, start_time: float, start: Position) -> _Segment:
+        rng = self._node_rngs[node_id]
+        direction = rng.uniform(0, 2 * math.pi)
+        speed = rng.uniform(self.min_speed, self.max_speed)
+        duration = rng.uniform(0.5 * self.epoch_duration, 1.5 * self.epoch_duration)
         vx = speed * math.cos(direction)
         vy = speed * math.sin(direction)
         # Truncate the epoch at the boundary so the node stays inside the area.
@@ -128,13 +155,14 @@ class RandomDirectionMobility(MobilityModel):
         return _Segment(start_time, start_time + duration, start, (vx, vy))
 
     def _time_to_boundary(self, start: Position, vx: float, vy: float) -> float:
+        origin_x, origin_y = self.origin
         times = [float("inf")]
         if vx > 0:
-            times.append((self.width - start.x) / vx)
+            times.append((origin_x + self.width - start.x) / vx)
         elif vx < 0:
-            times.append(-start.x / vx)
+            times.append((origin_x - start.x) / vx)
         if vy > 0:
-            times.append((self.height - start.y) / vy)
+            times.append((origin_y + self.height - start.y) / vy)
         elif vy < 0:
-            times.append(-start.y / vy)
+            times.append((origin_y - start.y) / vy)
         return max(min(times), 0.0)

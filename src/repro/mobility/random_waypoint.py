@@ -58,6 +58,8 @@ class RandomWaypointMobility(MobilityModel):
         self.max_speed = max_speed
         self.pause_time = pause_time
         self._rng = rng if rng is not None else random.Random(0)
+        self._version = 0
+        self._node_rngs: Dict[str, random.Random] = {}
         self._legs: Dict[str, List[_Leg]] = {}
         self._initial: Dict[str, Position] = {}
 
@@ -70,7 +72,11 @@ class RandomWaypointMobility(MobilityModel):
         else:
             position = Position(*initial_position)
         self._initial[node_id] = position
+        # Per-node stream: legs are a function of registration order only,
+        # never of the position-query pattern (see MobilityModel contract).
+        self._node_rngs[node_id] = random.Random(self._rng.getrandbits(64))
         self._legs[node_id] = []
+        self._version += 1
 
     @property
     def node_ids(self) -> list[str]:
@@ -86,6 +92,12 @@ class RandomWaypointMobility(MobilityModel):
                 return leg.position_at(time)
         return self._initial[node_id]
 
+    def speed_bound(self) -> float:
+        return self.max_speed
+
+    def mobility_version(self) -> int:
+        return self._version
+
     def _extend_until(self, node_id: str, time: float) -> None:
         legs = self._legs[node_id]
         while not legs or legs[-1].pause_until < time:
@@ -95,11 +107,12 @@ class RandomWaypointMobility(MobilityModel):
             else:
                 start_time = 0.0
                 start = self._initial[node_id]
-            legs.append(self._new_leg(start_time, start))
+            legs.append(self._new_leg(node_id, start_time, start))
 
-    def _new_leg(self, start_time: float, start: Position) -> _Leg:
-        destination = Position(self._rng.uniform(0, self.width), self._rng.uniform(0, self.height))
-        speed = self._rng.uniform(self.min_speed, self.max_speed)
+    def _new_leg(self, node_id: str, start_time: float, start: Position) -> _Leg:
+        rng = self._node_rngs[node_id]
+        destination = Position(rng.uniform(0, self.width), rng.uniform(0, self.height))
+        speed = rng.uniform(self.min_speed, self.max_speed)
         distance = start.distance_to(destination)
         travel_time = max(distance / speed, 1e-3)
         end_time = start_time + travel_time

@@ -38,6 +38,7 @@ class ScriptedMobility(MobilityModel):
 
     def __init__(self):
         self._waypoints: Dict[str, List[Waypoint]] = {}
+        self._version = 0
 
     def add_node(self, node_id: str, waypoints: Iterable[Waypoint | Tuple[float, float, float]]) -> None:
         """Register a node with its waypoint trace (must be non-empty)."""
@@ -50,6 +51,7 @@ class ScriptedMobility(MobilityModel):
             raise ValueError(f"node {node_id!r} needs at least one waypoint")
         parsed.sort(key=lambda w: w.time)
         self._waypoints[node_id] = parsed
+        self._version += 1
 
     def add_static_node(self, node_id: str, x: float, y: float) -> None:
         """Register a node that never moves (e.g. a repository)."""
@@ -65,6 +67,21 @@ class ScriptedMobility(MobilityModel):
         except KeyError:
             raise KeyError(f"node {node_id!r} has no scripted trace") from None
         return _interpolate(waypoints, time)
+
+    def mobility_version(self) -> int:
+        return self._version
+
+    def speed_bound(self) -> float:
+        """Fastest leg speed across all traces (exact: traces are known upfront)."""
+        fastest = 0.0
+        for waypoints in self._waypoints.values():
+            for earlier, later in zip(waypoints, waypoints[1:]):
+                span = later.time - earlier.time
+                if span <= 0:
+                    continue
+                speed = earlier.position.distance_to(later.position) / span
+                fastest = max(fastest, speed)
+        return fastest
 
 
 def _interpolate(waypoints: Sequence[Waypoint], time: float) -> Position:

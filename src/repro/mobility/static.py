@@ -18,13 +18,19 @@ class StaticPlacement(MobilityModel):
 
     def __init__(self, positions: Mapping[str, Tuple[float, float]] | None = None):
         self._positions: Dict[str, Position] = {}
+        self._version = 0
         if positions:
             for node_id, (x, y) in positions.items():
                 self._positions[node_id] = Position(x, y)
 
     def place(self, node_id: str, x: float, y: float) -> None:
-        """Place (or move) a node at a fixed position."""
+        """Place (or move) a node at a fixed position.
+
+        Moving a node mid-run is a teleport: the version bump below tells
+        position caches and grid snapshots to discard everything they knew.
+        """
         self._positions[node_id] = Position(x, y)
+        self._version += 1
 
     def place_grid(self, node_ids: Iterable[str], width: float, height: float, spacing: float) -> None:
         """Place nodes on a regular grid covering ``width`` x ``height`` metres."""
@@ -39,6 +45,12 @@ class StaticPlacement(MobilityModel):
             return self._positions[node_id]
         except KeyError:
             raise KeyError(f"node {node_id!r} has no static position") from None
+
+    def speed_bound(self) -> float:
+        return 0.0
+
+    def mobility_version(self) -> int:
+        return self._version
 
     @property
     def node_ids(self) -> list[str]:

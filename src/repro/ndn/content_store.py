@@ -22,6 +22,7 @@ class ContentStore:
             raise ValueError("capacity must be non-negative")
         self.capacity = capacity
         self._entries: "OrderedDict[Name, Data]" = OrderedDict()
+        self._size_bytes = 0
         self.hits = 0
         self.misses = 0
         self.insertions = 0
@@ -67,21 +68,31 @@ class ContentStore:
         if self.capacity == 0:
             return
         name = data.name
-        if name in self._entries:
+        existing = self._entries.get(name)
+        if existing is not None:
             self._entries.move_to_end(name)
             self._entries[name] = data
+            self._size_bytes += data.wire_size - existing.wire_size
             return
         self._entries[name] = data
+        self._size_bytes += data.wire_size
         self.insertions += 1
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            _, evicted = self._entries.popitem(last=False)
+            self._size_bytes -= evicted.wire_size
             self.evictions += 1
 
     def clear(self) -> None:
         self._entries.clear()
+        self._size_bytes = 0
 
     # ------------------------------------------------------------ accounting
     @property
     def size_bytes(self) -> int:
-        """Approximate memory held by cached Data (used for Table I proxies)."""
-        return sum(data.wire_size for data in self._entries.values())
+        """Approximate memory held by cached Data (used for Table I proxies).
+
+        Maintained incrementally on insert/evict: the periodic load sampler
+        reads this for every peer, and summing the whole store there made
+        state accounting the hottest path of the bitmap-heavy experiments.
+        """
+        return self._size_bytes

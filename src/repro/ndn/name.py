@@ -26,20 +26,41 @@ class Name:
     '0'
     """
 
-    __slots__ = ("_components", "_str")
+    __slots__ = ("_components", "_str", "_hash", "_wire_size")
 
-    def __init__(self, value: NameLike = ()):  # noqa: D107 - documented at class level
-        if isinstance(value, Name):
-            components: tuple[str, ...] = value._components
-        elif isinstance(value, str):
-            components = tuple(part for part in value.split("/") if part)
+    def __new__(cls, value: NameLike = ()):
+        # Names are immutable, so constructing a Name from a Name is the
+        # identity — this happens on every normalization call in the
+        # forwarder/namespace hot paths.
+        if type(value) is cls:
+            return value
+        self = object.__new__(cls)
+        if isinstance(value, str):
+            # Splitting on "/" cannot leave a "/" inside a component, so the
+            # validation loop below is only needed for sequence input.
+            components: tuple[str, ...] = tuple(part for part in value.split("/") if part)
+        elif isinstance(value, Name):
+            components = value._components
         else:
             components = tuple(str(part) for part in value)
-        for component in components:
-            if "/" in component:
-                raise ValueError(f"name component {component!r} must not contain '/'")
+            for component in components:
+                if "/" in component:
+                    raise ValueError(f"name component {component!r} must not contain '/'")
         self._components = components
         self._str = "/" + "/".join(components) if components else "/"
+        self._hash = None
+        self._wire_size = None
+        return self
+
+    @classmethod
+    def _unchecked(cls, components: tuple) -> "Name":
+        """Internal fast path for components already owned by a Name."""
+        name = cls.__new__(cls)
+        name._components = components
+        name._str = "/" + "/".join(components) if components else "/"
+        name._hash = None
+        name._wire_size = None
+        return name
 
     # ------------------------------------------------------------- accessors
     @property
@@ -62,7 +83,11 @@ class Name:
         return f"Name({self._str!r})"
 
     def __hash__(self) -> int:
-        return hash(self._components)
+        # Names are hashed on every PIT/CS/FIB lookup; cache (immutable class).
+        value = self._hash
+        if value is None:
+            value = self._hash = hash(self._components)
+        return value
 
     def __eq__(self, other) -> bool:
         if isinstance(other, Name):
@@ -84,25 +109,33 @@ class Name:
 
     def prefix(self, length: int) -> "Name":
         """Return the first ``length`` components as a new name."""
-        return Name(self._components[:length])
+        return Name._unchecked(self._components[:length])
 
     def parent(self) -> "Name":
         """The name with the last component removed."""
         if not self._components:
             raise ValueError("the root name has no parent")
-        return Name(self._components[:-1])
+        return Name._unchecked(self._components[:-1])
 
     def is_prefix_of(self, other: NameLike) -> bool:
         """Whether this name is a (non-strict) prefix of ``other``."""
-        other = Name(other)
-        if len(self) > len(other):
+        if not isinstance(other, Name):
+            other = Name(other)
+        mine = self._components
+        theirs = other._components
+        if len(mine) > len(theirs):
             return False
-        return other._components[: len(self)] == self._components
+        return theirs[: len(mine)] == mine
 
     @property
     def wire_size(self) -> int:
         """Approximate encoded size in bytes (component TLVs plus name TLV)."""
-        return sum(len(component.encode("utf-8")) + 2 for component in self._components) + 2
+        value = self._wire_size
+        if value is None:
+            value = self._wire_size = (
+                sum(len(component.encode("utf-8")) + 2 for component in self._components) + 2
+            )
+        return value
 
     @staticmethod
     def join(parts: Iterable[NameLike]) -> "Name":

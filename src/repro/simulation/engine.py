@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.simulation.random_streams import RandomStreams
@@ -19,28 +18,23 @@ class SimulationError(RuntimeError):
     """Raised for invalid uses of the simulation engine."""
 
 
-@dataclass(order=True)
-class _QueueEntry:
-    time: float
-    sequence: int
-    handle: "EventHandle" = field(compare=False)
-
-
 class EventHandle:
     """Handle to a scheduled event, usable to cancel it.
 
     A handle becomes inactive once the event has fired or been cancelled.
     """
 
-    __slots__ = ("callback", "args", "kwargs", "time", "cancelled", "fired")
+    __slots__ = ("callback", "args", "kwargs", "time", "cancelled", "fired", "_sim")
 
-    def __init__(self, time: float, callback: Callable[..., Any], args: tuple, kwargs: dict):
+    def __init__(self, time: float, callback: Callable[..., Any], args: tuple, kwargs: dict,
+                 sim: "Optional[Simulator]" = None):
         self.time = time
         self.callback = callback
         self.args = args
         self.kwargs = kwargs
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     @property
     def active(self) -> bool:
@@ -49,8 +43,10 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Cancel the event; a no-op if it already fired."""
-        if not self.fired:
+        if not self.fired and not self.cancelled:
             self.cancelled = True
+            if self._sim is not None:
+                self._sim._active_events -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "fired" if self.fired else ("cancelled" if self.cancelled else "pending")
@@ -77,11 +73,15 @@ class Simulator:
     """
 
     def __init__(self, seed: int = 0):
-        self._queue: list[_QueueEntry] = []
+        # The queue holds plain (time, sequence, handle) tuples: tuple
+        # comparison runs at C speed and the unique sequence number means the
+        # handle itself is never compared.
+        self._queue: list[tuple[float, int, EventHandle]] = []
         self._sequence = itertools.count()
         self._now = 0.0
         self._running = False
         self._stopped = False
+        self._active_events = 0
         self.events_processed = 0
         self.seed = seed
         self.streams = RandomStreams(seed)
@@ -97,7 +97,12 @@ class Simulator:
         """Schedule ``callback(*args, **kwargs)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args, **kwargs)
+        # Inlined schedule_at: this is the hottest call in the simulator.
+        time = self._now + delay
+        handle = EventHandle(time, callback, args, kwargs, sim=self)
+        heapq.heappush(self._queue, (time, next(self._sequence), handle))
+        self._active_events += 1
+        return handle
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> EventHandle:
         """Schedule ``callback`` at an absolute simulated time."""
@@ -105,9 +110,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule an event at {time}, which is before now ({self._now})"
             )
-        handle = EventHandle(time, callback, args, kwargs)
-        entry = _QueueEntry(time=time, sequence=next(self._sequence), handle=handle)
-        heapq.heappush(self._queue, entry)
+        handle = EventHandle(time, callback, args, kwargs, sim=self)
+        heapq.heappush(self._queue, (time, next(self._sequence), handle))
+        self._active_events += 1
         return handle
 
     def cancel(self, handle: Optional[EventHandle]) -> None:
@@ -126,20 +131,22 @@ class Simulator:
         self._running = True
         self._stopped = False
         processed = 0
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue:
+            while queue:
                 if self._stopped:
                     break
-                entry = self._queue[0]
-                if until is not None and entry.time > until:
+                event_time = queue[0][0]
+                if until is not None and event_time > until:
                     self._now = until
                     break
-                heapq.heappop(self._queue)
-                handle = entry.handle
+                handle = heappop(queue)[2]
                 if handle.cancelled:
                     continue
-                self._now = entry.time
+                self._now = event_time
                 handle.fired = True
+                self._active_events -= 1
                 handle.callback(*handle.args, **handle.kwargs)
                 self.events_processed += 1
                 processed += 1
@@ -162,8 +169,12 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled entries)."""
-        return sum(1 for entry in self._queue if entry.handle.active)
+        """Number of events still queued (cancelled entries excluded).
+
+        Tracked incrementally: schedule/cancel/fire adjust a counter, so this
+        is O(1) rather than a sweep of the whole queue.
+        """
+        return self._active_events
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator t={self._now:.3f} pending={self.pending_events} processed={self.events_processed}>"

@@ -19,13 +19,23 @@ from repro.wireless.channel import ChannelConfig
 from repro.wireless.frames import Frame
 from repro.wireless.medium import WirelessMedium
 from repro.wireless.radio import Radio
+from repro.wireless.spatial import (
+    BruteForceNeighborIndex,
+    GridNeighborIndex,
+    NeighborIndex,
+    build_neighbor_index,
+)
 from repro.wireless.stats import MediumStats, NodeRadioStats
 
 __all__ = [
+    "BruteForceNeighborIndex",
     "ChannelConfig",
     "Frame",
+    "GridNeighborIndex",
     "MediumStats",
+    "NeighborIndex",
     "NodeRadioStats",
     "Radio",
     "WirelessMedium",
+    "build_neighbor_index",
 ]

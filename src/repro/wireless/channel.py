@@ -3,6 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+NEIGHBOR_INDEX_BACKENDS = ("grid", "brute")
 
 
 @dataclass
@@ -24,12 +27,23 @@ class ChannelConfig:
     per_frame_overhead_s:
         Fixed per-frame airtime overhead approximating the 802.11b PLCP
         preamble/header and MAC framing.
+    neighbor_index:
+        Neighbor-resolution backend: ``"grid"`` (bucketed spatial index, the
+        default) or ``"brute"`` (O(N) reference scan).  Both produce
+        identical results; ``"brute"`` exists for equivalence testing.
+    index_cell_size:
+        Grid cell edge in metres (``None`` means use ``wifi_range``).
+    index_rebuild_interval:
+        Validity window of one grid snapshot in simulated seconds.
     """
 
     data_rate_bps: float = 11_000_000.0
     wifi_range: float = 60.0
     loss_rate: float = 0.10
     per_frame_overhead_s: float = 0.000192
+    neighbor_index: str = "grid"
+    index_cell_size: Optional[float] = None
+    index_rebuild_interval: float = 1.0
 
     def __post_init__(self) -> None:
         if self.data_rate_bps <= 0:
@@ -40,6 +54,14 @@ class ChannelConfig:
             raise ValueError("loss_rate must be in [0, 1)")
         if self.per_frame_overhead_s < 0:
             raise ValueError("per_frame_overhead_s must be non-negative")
+        if self.neighbor_index not in NEIGHBOR_INDEX_BACKENDS:
+            raise ValueError(
+                f"neighbor_index must be one of {NEIGHBOR_INDEX_BACKENDS}, got {self.neighbor_index!r}"
+            )
+        if self.index_cell_size is not None and self.index_cell_size <= 0:
+            raise ValueError("index_cell_size must be positive")
+        if self.index_rebuild_interval <= 0:
+            raise ValueError("index_rebuild_interval must be positive")
 
     def airtime(self, size_bytes: int) -> float:
         """Airtime in seconds for a frame of ``size_bytes``."""

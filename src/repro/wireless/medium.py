@@ -32,6 +32,7 @@ from repro.mobility.base import MobilityModel
 from repro.simulation import Simulator
 from repro.wireless.channel import ChannelConfig
 from repro.wireless.frames import Frame
+from repro.wireless.spatial import build_neighbor_index
 from repro.wireless.stats import MediumStats
 
 INTER_FRAME_SPACE = 0.00005  # 50 us, approximates DIFS + MAC processing
@@ -50,6 +51,15 @@ class _Reception:
     corrupted: bool = False
 
 
+@dataclass
+class _RetryState:
+    """Link-layer ARQ state for one in-flight unicast frame."""
+
+    sender: str
+    destination: str
+    retries: int = 0
+
+
 class WirelessMedium:
     """The broadcast medium shared by all radios in a scenario."""
 
@@ -63,12 +73,13 @@ class WirelessMedium:
         self.mobility = mobility
         self.config = config if config is not None else ChannelConfig()
         self.stats = MediumStats()
+        self._index = build_neighbor_index(self.config, mobility)
         self._radios: Dict[str, "Radio"] = {}
         self._receptions: Dict[str, List[_Reception]] = {}
         self._busy_until: Dict[str, float] = {}
         self._loss_rng = sim.rng("wireless.loss")
         self._backoff_rng = sim.rng("wireless.csma")
-        self._unicast_retries: Dict[int, int] = {}
+        self._unicast_retries: Dict[int, _RetryState] = {}
 
     # ------------------------------------------------------------- topology
     def attach(self, radio: "Radio") -> None:
@@ -78,12 +89,21 @@ class WirelessMedium:
         self._radios[radio.node_id] = radio
         self._receptions[radio.node_id] = []
         self._busy_until[radio.node_id] = 0.0
+        self._index.attach(radio.node_id)
 
     def detach(self, node_id: str) -> None:
         """Detach a node's radio (e.g. a node powering off)."""
         self._radios.pop(node_id, None)
         self._receptions.pop(node_id, None)
         self._busy_until.pop(node_id, None)
+        self._index.detach(node_id)
+        # Drop ARQ state referencing the node: its pending retries can never
+        # resolve, and long node-churn runs would otherwise leak entries.
+        self._unicast_retries = {
+            frame_id: state
+            for frame_id, state in self._unicast_retries.items()
+            if state.sender != node_id and state.destination != node_id
+        }
 
     @property
     def node_ids(self) -> list[str]:
@@ -92,15 +112,7 @@ class WirelessMedium:
     def neighbours_of(self, node_id: str, time: Optional[float] = None) -> list[str]:
         """Node ids currently within WiFi range of ``node_id`` (excluding itself)."""
         when = self.sim.now if time is None else time
-        wifi_range = self._range_of(node_id)
-        origin = self.mobility.position(node_id, when)
-        nearby = []
-        for other_id in self._radios:
-            if other_id == node_id:
-                continue
-            if origin.distance_to(self.mobility.position(other_id, when)) <= wifi_range:
-                nearby.append(other_id)
-        return nearby
+        return self._index.neighbors(node_id, self._range_of(node_id), when)
 
     # ----------------------------------------------------------- transmission
     def transmit(self, sender_id: str, frame: Frame) -> float:
@@ -147,14 +159,8 @@ class WirelessMedium:
         end_time = now + airtime
         self.stats.record_transmission(frame.kind, frame.protocol, frame.size_bytes)
 
-        sender_position = self.mobility.position(sender_id, now)
         wifi_range = self._range_of(sender_id)
-        for receiver_id in list(self._radios):
-            if receiver_id == sender_id:
-                continue
-            distance = sender_position.distance_to(self.mobility.position(receiver_id, now))
-            if distance > wifi_range:
-                continue
+        for receiver_id in self._index.neighbors(sender_id, wifi_range, now):
             reception = _Reception(frame=frame, start_time=now, end_time=end_time)
             # Half-duplex: a node that is itself transmitting cannot receive.
             if self._busy_until.get(receiver_id, 0.0) > now:
@@ -208,15 +214,29 @@ class WirelessMedium:
         """
         if frame.destination != receiver_id or frame.sender not in self._radios:
             return
-        retries = self._unicast_retries.get(frame.frame_id, 0)
-        if retries >= UNICAST_RETRY_LIMIT:
+        state = self._unicast_retries.get(frame.frame_id)
+        if state is None:
+            state = _RetryState(sender=frame.sender, destination=frame.destination)
+        if state.retries >= UNICAST_RETRY_LIMIT:
             self._unicast_retries.pop(frame.frame_id, None)
             return
-        self._unicast_retries[frame.frame_id] = retries + 1
+        retries = state.retries
+        state.retries = retries + 1
+        self._unicast_retries[frame.frame_id] = state
         backoff = UNICAST_RETRY_BACKOFF * (retries + 1) + self._backoff_rng.uniform(0.0, 0.001)
-        self.sim.schedule(backoff, self.transmit, frame.sender, frame)
+        self.sim.schedule(backoff, self._retry_transmit, frame.sender, frame)
+
+    def _retry_transmit(self, sender_id: str, frame: Frame) -> None:
+        """Fire a scheduled ARQ retransmission unless the sender detached meanwhile."""
+        if sender_id in self._radios:
+            self.transmit(sender_id, frame)
 
     # ------------------------------------------------------------- inspection
     def busy_until(self, node_id: str) -> float:
         """Time until which ``node_id``'s transmitter is busy (for tests)."""
         return self._busy_until.get(node_id, 0.0)
+
+    @property
+    def unicast_retry_backlog(self) -> int:
+        """Number of unicast frames with live ARQ state (for tests/monitoring)."""
+        return len(self._unicast_retries)

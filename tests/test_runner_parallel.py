@@ -1,0 +1,29 @@
+"""The process-pool trial runner must mirror the serial path exactly."""
+
+from repro.experiments import ExperimentConfig, available_protocols, run_trials
+from repro.experiments.runner import trial_seeds
+
+
+def test_trial_seeds_are_deterministic():
+    config = ExperimentConfig.tiny().with_overrides(trials=4, base_seed=100)
+    assert trial_seeds(config) == [100, 1109, 2118, 3127]
+
+
+def test_parallel_run_trials_matches_serial_aggregate():
+    config = ExperimentConfig.tiny().with_overrides(trials=3, max_duration=180.0)
+    parameters = {"wifi_range": config.wifi_range}
+    serial = run_trials("dapes", config, "DAPES", parameters=parameters, workers=1)
+    parallel = run_trials("dapes", config, "DAPES", parameters=parameters, workers=3)
+    assert serial == parallel
+
+
+def test_workers_config_field_drives_parallelism():
+    config = ExperimentConfig.tiny().with_overrides(trials=2, max_duration=180.0, workers=2)
+    assert config.workers == 2
+    point = run_trials("dapes", config, "DAPES")
+    reference = run_trials("dapes", config.with_overrides(workers=1), "DAPES")
+    assert point == reference
+
+
+def test_registered_protocols_include_all_paper_protocols():
+    assert set(available_protocols()) >= {"dapes", "bithoc", "ekta"}

@@ -135,6 +135,40 @@ def test_pending_events_excludes_cancelled():
     assert keep.active
 
 
+def test_pending_events_tracks_schedule_fire_and_cancel():
+    sim = Simulator()
+    handles = [sim.schedule(float(index + 1), lambda: None) for index in range(5)]
+    assert sim.pending_events == 5
+    handles[0].cancel()
+    handles[0].cancel()  # double-cancel must not double-decrement
+    assert sim.pending_events == 4
+    sim.run(max_events=2)
+    assert sim.pending_events == 2
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_cancel_after_fire_keeps_counter_consistent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run(max_events=1)
+    handle.cancel()  # no-op: already fired
+    assert sim.pending_events == 1
+
+
+def test_pending_events_with_events_scheduled_during_run():
+    sim = Simulator()
+
+    def chain(step):
+        if step < 3:
+            sim.schedule(1.0, chain, step + 1)
+
+    sim.schedule(1.0, chain, 1)
+    sim.run()
+    assert sim.pending_events == 0
+
+
 def test_rng_streams_are_deterministic_across_runs():
     values_a = Simulator(seed=9).rng("test").random()
     values_b = Simulator(seed=9).rng("test").random()

@@ -1,0 +1,169 @@
+"""Equivalence tests for the spatial neighbor index.
+
+The grid index must return *exactly* the neighbor sets (and ordering) of the
+brute-force reference scan — first property-style over random placements,
+ranges and timestamps, then end-to-end: a fixed-seed trial must produce an
+identical :class:`RunResult` under both medium backends.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments import ExperimentConfig, run_protocol_trial
+from repro.mobility import (
+    CompositeMobility,
+    PositionCache,
+    RandomDirectionMobility,
+    StaticPlacement,
+)
+from repro.simulation import Simulator
+from repro.wireless import ChannelConfig, WirelessMedium
+from repro.wireless.spatial import BruteForceNeighborIndex, GridNeighborIndex, build_neighbor_index
+
+AREA = 200.0
+
+coords = st.tuples(
+    st.floats(min_value=-50.0, max_value=AREA + 50.0, allow_nan=False),
+    st.floats(min_value=-50.0, max_value=AREA + 50.0, allow_nan=False),
+)
+
+
+def build_mobility(static_coords, mobile_count, seed):
+    """A mixed world: pinned nodes plus random-direction walkers."""
+    mobility = CompositeMobility()
+    static = StaticPlacement()
+    node_ids = []
+    for index, (x, y) in enumerate(static_coords):
+        node_id = f"s{index}"
+        static.place(node_id, x, y)
+        mobility.assign(node_id, static)
+        node_ids.append(node_id)
+    walkers = RandomDirectionMobility(
+        width=AREA, height=AREA, min_speed=1.0, max_speed=12.0, rng=random.Random(seed)
+    )
+    for index in range(mobile_count):
+        node_id = f"m{index}"
+        walkers.add_node(node_id)
+        mobility.assign(node_id, walkers)
+        node_ids.append(node_id)
+    return mobility, node_ids
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    static_coords=st.lists(coords, min_size=0, max_size=8),
+    mobile_count=st.integers(min_value=0, max_value=10),
+    radius=st.floats(min_value=1.0, max_value=150.0, allow_nan=False),
+    cell_size=st.floats(min_value=5.0, max_value=120.0, allow_nan=False),
+    rebuild_interval=st.floats(min_value=0.05, max_value=5.0, allow_nan=False),
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=120.0, allow_nan=False), min_size=1, max_size=8
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_grid_matches_brute_force_for_random_worlds(
+    static_coords, mobile_count, radius, cell_size, rebuild_interval, times, seed
+):
+    mobility, node_ids = build_mobility(static_coords, mobile_count, seed)
+    brute = BruteForceNeighborIndex(mobility)
+    grid = GridNeighborIndex(mobility, cell_size=cell_size, rebuild_interval=rebuild_interval)
+    for node_id in node_ids:
+        brute.attach(node_id)
+        grid.attach(node_id)
+    # Times arrive in the given (possibly non-monotonic) order, as the medium
+    # may query the past; every node is probed at every timestamp.
+    for when in times:
+        for node_id in node_ids:
+            expected = brute.neighbors(node_id, radius, when)
+            assert grid.neighbors(node_id, radius, when) == expected
+
+
+def test_grid_tracks_attach_and_detach():
+    mobility = StaticPlacement({"a": (0.0, 0.0), "b": (10.0, 0.0), "c": (20.0, 0.0)})
+    grid = GridNeighborIndex(mobility, cell_size=25.0)
+    for node_id in ("a", "b", "c"):
+        grid.attach(node_id)
+    assert grid.neighbors("a", 30.0, 0.0) == ["b", "c"]
+    grid.detach("b")
+    assert grid.neighbors("a", 30.0, 0.0) == ["c"]
+    grid.attach("b")
+    # Re-attached nodes go to the back of the ordering, like a fresh radio.
+    assert grid.neighbors("a", 30.0, 0.0) == ["c", "b"]
+
+
+def test_grid_reuses_snapshots_within_the_rebuild_window():
+    mobility = StaticPlacement({f"n{i}": (float(i), 0.0) for i in range(6)})
+    grid = GridNeighborIndex(mobility, cell_size=10.0, rebuild_interval=1.0)
+    for node_id in mobility.node_ids:
+        grid.attach(node_id)
+    grid.neighbors("n0", 3.0, 0.0)
+    grid.neighbors("n0", 3.0, 0.5)
+    grid.neighbors("n0", 3.0, 0.9)
+    assert grid.rebuilds == 1
+    grid.neighbors("n0", 3.0, 5.0)
+    assert grid.rebuilds == 2
+
+
+def test_position_cache_returns_model_positions():
+    placement = StaticPlacement({"a": (1.0, 2.0)})
+    cache = PositionCache(placement)
+    first = cache.position("a", 3.0)
+    assert (first.x, first.y) == (1.0, 2.0)
+    assert cache.position("a", 3.0) is first
+    assert cache.speed_bound() == 0.0
+
+
+def test_build_neighbor_index_respects_channel_config():
+    mobility = StaticPlacement({"a": (0.0, 0.0)})
+    assert isinstance(
+        build_neighbor_index(ChannelConfig(neighbor_index="brute"), mobility),
+        BruteForceNeighborIndex,
+    )
+    grid = build_neighbor_index(
+        ChannelConfig(neighbor_index="grid", index_cell_size=12.5), mobility
+    )
+    assert isinstance(grid, GridNeighborIndex)
+    assert grid.cell_size == 12.5
+    # Cell size defaults to the WiFi range.
+    default = build_neighbor_index(ChannelConfig(wifi_range=42.0), mobility)
+    assert default.cell_size == 42.0
+    with pytest.raises(ValueError):
+        ChannelConfig(neighbor_index="octree")
+
+
+def test_medium_neighbours_identical_across_backends_with_mobility():
+    def neighbour_table(backend):
+        sim = Simulator(seed=99)
+        mobility = CompositeMobility()
+        walkers = RandomDirectionMobility(
+            width=150.0, height=150.0, min_speed=2.0, max_speed=10.0, rng=sim.rng("mobility")
+        )
+        for index in range(12):
+            walkers.add_node(f"n{index}")
+            mobility.assign(f"n{index}", walkers)
+        medium = WirelessMedium(
+            sim, mobility, ChannelConfig(wifi_range=50.0, loss_rate=0.0, neighbor_index=backend)
+        )
+        from repro.wireless import Radio
+
+        for index in range(12):
+            Radio(sim, medium, f"n{index}")
+        return {
+            (node, when): tuple(medium.neighbours_of(node, time=when))
+            for when in (0.0, 1.5, 30.0, 29.0, 120.0)
+            for node in medium.node_ids
+        }
+
+    assert neighbour_table("grid") == neighbour_table("brute")
+
+
+@pytest.mark.parametrize("protocol", ["dapes", "bithoc"])
+def test_fixed_seed_run_result_identical_under_both_backends(protocol):
+    results = {}
+    for backend in ("grid", "brute"):
+        config = ExperimentConfig.small().with_overrides(neighbor_index=backend)
+        results[backend] = run_protocol_trial(protocol, config, seed=42)
+    assert results["grid"] == results["brute"]
+    assert results["grid"].transmissions > 0

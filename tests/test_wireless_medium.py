@@ -173,6 +173,36 @@ def test_duplicate_radio_attachment_rejected():
         Radio(sim, medium, "a")
 
 
+def test_detach_prunes_unicast_retry_state():
+    # A very lossy channel forces link-layer ARQ state for in-flight unicasts.
+    sim, medium, radios = build_world({"a": (0, 0), "b": (10, 0)}, loss_rate=0.95, seed=3)
+    for index in range(10):
+        radios["a"].unicast("b", index, 200, kind="test")
+    sim.run(until=0.004)  # far enough for losses and scheduled retries
+    assert medium.unicast_retry_backlog > 0
+    medium.detach("a")
+    assert medium.unicast_retry_backlog == 0
+    sim.run()  # pending retry events fire harmlessly after the detach
+
+
+def test_detach_keeps_retry_state_of_other_nodes():
+    # Two independent pairs far out of range of each other, so both make
+    # progress (no cross-pair carrier sensing) and both accumulate ARQ state.
+    sim, medium, radios = build_world(
+        {"a": (0, 0), "b": (10, 0), "c": (500, 0), "d": (510, 0)}, loss_rate=0.95, seed=3
+    )
+    for index in range(10):
+        radios["a"].unicast("b", index, 200, kind="test")
+        radios["c"].unicast("d", index, 200, kind="test")
+    sim.run(until=0.004)
+    backlog = medium.unicast_retry_backlog
+    assert backlog > 0
+    medium.detach("a")
+    remaining = medium.unicast_retry_backlog
+    assert 0 < remaining < backlog  # only the a->b entries were dropped
+    sim.run()
+
+
 def test_detached_radio_no_longer_receives():
     sim, medium, radios = build_world({"a": (0, 0), "b": (10, 0)})
     received = []
