@@ -15,10 +15,22 @@ import re
 
 import pytest
 
-from repro.experiments import ExperimentConfig
+from repro.experiments import ExperimentConfig, run_experiment
 
 # WiFi ranges swept by the reduced-scale harness (paper: 20-100 m).
 BENCH_WIFI_RANGES = (40.0, 80.0)
+
+
+def run_sweep(benchmark, experiment, config, axes=None):
+    """Run a registered experiment (or ad-hoc spec) under the benchmark fixture.
+
+    Every figure benchmark goes through the declarative sweep scheduler —
+    the same path as ``python -m repro.experiments run`` — so the archived
+    numbers and the CLI agree by construction.
+    """
+    return benchmark.pedantic(
+        lambda: run_experiment(experiment, config, axes=axes), rounds=1, iterations=1
+    )
 
 
 @pytest.fixture(scope="session")

@@ -1,13 +1,10 @@
 """Fig. 10b — transmissions (overhead): DAPES vs Bithoc vs Ekta."""
 
-from conftest import report
-
-from repro.experiments import ComparisonExperiment
+from conftest import report, run_sweep
 
 
 def test_fig10b_comparison_transmissions(benchmark, bench_config):
-    experiment = ComparisonExperiment(config=bench_config, wifi_ranges=(60.0,))
-    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    result = run_sweep(benchmark, "fig10", bench_config, axes={"wifi_range": (60.0,)})
     report(result, benchmark)
 
     series = result.series("transmissions")

@@ -1,13 +1,10 @@
 """Fig. 9a — file-collection download time for the RPF strategy variants."""
 
-from conftest import BENCH_WIFI_RANGES, report
-
-from repro.experiments import RpfStrategyExperiment
+from conftest import BENCH_WIFI_RANGES, report, run_sweep
 
 
 def test_fig9a_rpf_download_time(benchmark, bench_config):
-    experiment = RpfStrategyExperiment(config=bench_config, wifi_ranges=BENCH_WIFI_RANGES)
-    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    result = run_sweep(benchmark, "fig9a", bench_config, axes={"wifi_range": BENCH_WIFI_RANGES})
     report(result, benchmark)
 
     assert result.points, "the sweep must produce data points"

@@ -1,13 +1,10 @@
 """Fig. 9b — transmissions for both RPF flavours, with and without PEBA."""
 
-from conftest import BENCH_WIFI_RANGES, report
-
-from repro.experiments import PebaExperiment
+from conftest import BENCH_WIFI_RANGES, report, run_sweep
 
 
 def test_fig9b_peba_transmissions(benchmark, bench_config):
-    experiment = PebaExperiment(config=bench_config, wifi_ranges=BENCH_WIFI_RANGES)
-    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    result = run_sweep(benchmark, "fig9b", bench_config, axes={"wifi_range": BENCH_WIFI_RANGES})
     report(result, benchmark)
 
     assert result.points

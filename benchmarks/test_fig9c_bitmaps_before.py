@@ -1,17 +1,13 @@
 """Fig. 9c — download time when bitmaps are exchanged before data download."""
 
-from conftest import BENCH_WIFI_RANGES, report
+from conftest import BENCH_WIFI_RANGES, report, run_sweep
 
-from repro.experiments import BitmapsBeforeDataExperiment
+from repro.experiments.fig9_bitmaps import SPEC_FIG9C, budget_variants
 
 
 def test_fig9c_bitmaps_before_data(benchmark, bench_config):
-    experiment = BitmapsBeforeDataExperiment(
-        config=bench_config,
-        wifi_ranges=BENCH_WIFI_RANGES,
-        bitmap_budgets=(1, 2, 4, None),
-    )
-    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    spec = SPEC_FIG9C.with_variants(budget_variants((1, 2, 4, None)))
+    result = run_sweep(benchmark, spec, bench_config, axes={"wifi_range": BENCH_WIFI_RANGES})
     report(result, benchmark)
 
     assert result.points

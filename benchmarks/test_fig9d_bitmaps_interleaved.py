@@ -1,17 +1,13 @@
 """Fig. 9d — download time when bitmap exchanges are interleaved with data."""
 
-from conftest import BENCH_WIFI_RANGES, report
+from conftest import BENCH_WIFI_RANGES, report, run_sweep
 
-from repro.experiments import BitmapsBeforeDataExperiment, BitmapsInterleavedExperiment
+from repro.experiments.fig9_bitmaps import SPEC_FIG9C, SPEC_FIG9D, budget_variants
 
 
 def test_fig9d_bitmaps_interleaved(benchmark, bench_config):
-    experiment = BitmapsInterleavedExperiment(
-        config=bench_config,
-        wifi_ranges=BENCH_WIFI_RANGES,
-        bitmap_budgets=(1, 2, 4, None),
-    )
-    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    spec = SPEC_FIG9D.with_variants(budget_variants((1, 2, 4, None)))
+    result = run_sweep(benchmark, spec, bench_config, axes={"wifi_range": BENCH_WIFI_RANGES})
     report(result, benchmark)
 
     assert result.points
@@ -24,16 +20,17 @@ def test_fig9d_interleaving_beats_bitmaps_first(benchmark, quick_config):
     At reduced scale we require that interleaving is not slower on average
     than exchanging every bitmap up front.
     """
-    wifi_ranges = (60.0,)
-    interleaved = BitmapsInterleavedExperiment(
-        config=quick_config, wifi_ranges=wifi_ranges, bitmap_budgets=(None,)
-    )
-    before = BitmapsBeforeDataExperiment(
-        config=quick_config, wifi_ranges=wifi_ranges, bitmap_budgets=(None,)
-    )
+    from repro.experiments import run_experiment
+
+    axes = {"wifi_range": (60.0,)}
+    interleaved_spec = SPEC_FIG9D.with_variants(budget_variants((None,)))
+    before_spec = SPEC_FIG9C.with_variants(budget_variants((None,)))
 
     def _run_both():
-        return interleaved.run(), before.run()
+        return (
+            run_experiment(interleaved_spec, quick_config, axes=axes),
+            run_experiment(before_spec, quick_config, axes=axes),
+        )
 
     result_interleaved, result_before = benchmark.pedantic(_run_both, rounds=1, iterations=1)
     # Not archived via report(): these single-budget runs would overwrite the

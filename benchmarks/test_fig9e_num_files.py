@@ -1,15 +1,13 @@
 """Fig. 9e — download time for a varying number of files per collection."""
 
-from conftest import report
-
-from repro.experiments import FileCountExperiment
+from conftest import report, run_sweep
 
 
 def test_fig9e_varying_number_of_files(benchmark, quick_config):
-    experiment = FileCountExperiment(
-        config=quick_config, wifi_ranges=(60.0,), count_factors=(1, 3)
+    result = run_sweep(
+        benchmark, "fig9e", quick_config,
+        axes={"wifi_range": (60.0,), "num_files_factor": (1, 3)},
     )
-    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
     report(result, benchmark)
 
     assert result.points

@@ -1,15 +1,13 @@
 """Fig. 9f — download time for a varying file size."""
 
-from conftest import report
-
-from repro.experiments import FileSizeExperiment
+from conftest import report, run_sweep
 
 
 def test_fig9f_varying_file_size(benchmark, quick_config):
-    experiment = FileSizeExperiment(
-        config=quick_config, wifi_ranges=(60.0,), size_factors=(1, 5)
+    result = run_sweep(
+        benchmark, "fig9f", quick_config,
+        axes={"wifi_range": (60.0,), "file_size_factor": (1, 5)},
     )
-    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
     report(result, benchmark)
 
     assert result.points

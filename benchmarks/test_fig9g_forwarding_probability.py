@@ -1,15 +1,13 @@
 """Fig. 9g — download time for single-hop vs multi-hop forwarding probabilities."""
 
-from conftest import report
+from conftest import report, run_sweep
 
-from repro.experiments import ForwardingProbabilityExperiment
+from repro.experiments.fig9_multihop import SPEC_FIG9GH, probability_variants
 
 
 def test_fig9g_forwarding_probability_download_time(benchmark, bench_config):
-    experiment = ForwardingProbabilityExperiment(
-        config=bench_config, wifi_ranges=(60.0,), probabilities=(None, 0.2, 0.4)
-    )
-    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    spec = SPEC_FIG9GH.with_variants(probability_variants((None, 0.2, 0.4)))
+    result = run_sweep(benchmark, spec, bench_config, axes={"wifi_range": (60.0,)})
     report(result, benchmark)
 
     assert result.points

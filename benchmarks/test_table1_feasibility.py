@@ -1,14 +1,15 @@
 """Table I — the real-world feasibility study scenarios."""
 
-from conftest import report
+from conftest import report, run_sweep
 
-from repro.experiments import ExperimentConfig, FeasibilityStudy
+from repro.experiments import ExperimentConfig
 
 
 def test_table1_feasibility_study(benchmark):
-    config = ExperimentConfig.small().with_overrides(trials=1, max_duration=400.0)
-    study = FeasibilityStudy(config=config)
-    result = benchmark.pedantic(study.run, rounds=1, iterations=1)
+    config = ExperimentConfig.small().with_overrides(
+        trials=1, max_duration=400.0, base_seed=7
+    )
+    result = run_sweep(benchmark, "table1", config)
     report(result, benchmark)
 
     rows = {point.parameters["scenario"]: point for point in result.points}

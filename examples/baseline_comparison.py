@@ -3,20 +3,24 @@
 
 Runs the paper's comparison — DAPES, Bithoc (DSDV + scoped flooding + TCP)
 and Ekta (DSR-integrated DHT + UDP) — on a reduced version of the Fig. 7
-topology and prints the download time and overhead of each protocol.
+topology through the declarative sweep registry, and prints the download
+time and overhead of each protocol.
 
-Run it with::
+The same sweep is available from the command line::
+
+    python -m repro.experiments run fig10 --preset small --trials 1 --axis wifi_range=60
+
+Run this example with::
 
     python examples/baseline_comparison.py
 """
 
-from repro.experiments import ComparisonExperiment, ExperimentConfig
+from repro.experiments import ExperimentConfig, improvements, run_experiment
 
 
 def main() -> None:
     config = ExperimentConfig.small().with_overrides(trials=1, max_duration=400.0)
-    experiment = ComparisonExperiment(config=config, wifi_ranges=(60.0,))
-    result = experiment.run()
+    result = run_experiment("fig10", config, axes={"wifi_range": (60.0,)})
 
     print(result.summary())
     print()
@@ -24,8 +28,7 @@ def main() -> None:
         ("download_time", "download time"),
         ("transmissions", "overhead (transmissions)"),
     ):
-        improvements = ComparisonExperiment.improvements(result, metric=metric)
-        for baseline, values in improvements.items():
+        for baseline, values in improvements(result, metric=metric).items():
             average = sum(values) / len(values)
             print(f"DAPES {metric == 'download_time' and 'is' or 'uses'} "
                   f"{average:.0%} lower {description} than {baseline}")

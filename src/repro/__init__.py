@@ -23,11 +23,15 @@ provides:
 
 Quickstart::
 
-    from repro.experiments import ComparisonExperiment, ExperimentConfig
+    from repro.experiments import ExperimentConfig, run_experiment
 
     config = ExperimentConfig.small()
-    result = ComparisonExperiment(config).run(protocols=["dapes"])
+    result = run_experiment("fig10", config, axes={"wifi_range": (60.0,)})
     print(result.summary())
+
+or, from the command line (also installed as ``repro-experiments``)::
+
+    python -m repro.experiments run fig10 --preset small --workers 4
 """
 
 from repro._version import __version__

@@ -1,32 +1,44 @@
 """Experiment harness: regenerates every figure and table of the paper.
 
-Each experiment module exposes a class with a ``run()`` method returning a
-result object whose ``rows()`` / ``summary()`` methods print the same series
-the paper reports.  The mapping between paper artefacts and modules is:
+Every paper artefact is a registered, declarative :class:`ExperimentSpec`
+(name, sweep axes, labelled variants, protocol, config overrides) executed
+by the whole-grid sweep scheduler in :mod:`repro.experiments.sweep` —
+``run_experiment("fig9a")`` from Python, or ``python -m repro.experiments
+run fig9a`` (also installed as ``repro-experiments``) from the command
+line.  The mapping between paper artefacts and registered experiments is:
 
-=============  =============================================  =========================================
-Paper artefact  What it shows                                 Module / class
-=============  =============================================  =========================================
-Fig. 9a        download time vs WiFi range per RPF variant   ``fig9_rpf.RpfStrategyExperiment``
-Fig. 9b        transmissions, RPF variants with/without PEBA  ``fig9_rpf.PebaExperiment``
-Fig. 9c        download time, bitmaps exchanged before data   ``fig9_bitmaps.BitmapsBeforeDataExperiment``
-Fig. 9d        download time, bitmaps interleaved with data   ``fig9_bitmaps.BitmapsInterleavedExperiment``
-Fig. 9e        download time vs number of files               ``fig9_scaling.FileCountExperiment``
-Fig. 9f        download time vs file size                     ``fig9_scaling.FileSizeExperiment``
-Fig. 9g        download time vs forwarding probability        ``fig9_multihop.ForwardingProbabilityExperiment``
-Fig. 9h        transmissions vs forwarding probability        ``fig9_multihop.ForwardingProbabilityExperiment``
-Fig. 10a       download time, DAPES vs Bithoc vs Ekta         ``fig10_comparison.ComparisonExperiment``
-Fig. 10b       transmissions, DAPES vs Bithoc vs Ekta         ``fig10_comparison.ComparisonExperiment``
-Table I        real-world feasibility scenarios               ``table1_feasibility.FeasibilityStudy``
-=============  =============================================  =========================================
+=============  =============================================  ==========  =============================
+Paper artefact  What it shows                                 Experiment  Module (spec + deprecated shim)
+=============  =============================================  ==========  =============================
+Fig. 9a        download time vs WiFi range per RPF variant   ``fig9a``   ``fig9_rpf`` (``RpfStrategyExperiment``)
+Fig. 9b        transmissions, RPF variants with/without PEBA  ``fig9b``   ``fig9_rpf`` (``PebaExperiment``)
+Fig. 9c        download time, bitmaps exchanged before data   ``fig9c``   ``fig9_bitmaps`` (``BitmapsBeforeDataExperiment``)
+Fig. 9d        download time, bitmaps interleaved with data   ``fig9d``   ``fig9_bitmaps`` (``BitmapsInterleavedExperiment``)
+Fig. 9e        download time vs number of files               ``fig9e``   ``fig9_scaling`` (``FileCountExperiment``)
+Fig. 9f        download time vs file size                     ``fig9f``   ``fig9_scaling`` (``FileSizeExperiment``)
+Fig. 9g        download time vs forwarding probability        ``fig9gh``  ``fig9_multihop`` (``ForwardingProbabilityExperiment``)
+Fig. 9h        transmissions vs forwarding probability        ``fig9gh``  ``fig9_multihop`` (``ForwardingProbabilityExperiment``)
+Fig. 10a       download time, DAPES vs Bithoc vs Ekta         ``fig10``   ``fig10_comparison`` (``ComparisonExperiment``)
+Fig. 10b       transmissions, DAPES vs Bithoc vs Ekta         ``fig10``   ``fig10_comparison`` (``ComparisonExperiment``)
+Table I        real-world feasibility scenarios               ``table1``  ``table1_feasibility`` (``FeasibilityStudy``)
+=============  =============================================  ==========  =============================
+
+Aliases resolve too (``fig9g``/``fig9h`` → ``fig9gh``, ``fig10a``/``fig10b``
+→ ``fig10``, ``tablei`` → ``table1``).  EXPERIMENTS.md documents the spec
+schema, resume/caching semantics and CLI examples.
 """
 
-from repro.experiments.fig10_comparison import ComparisonExperiment
-from repro.experiments.fig9_bitmaps import BitmapsBeforeDataExperiment, BitmapsInterleavedExperiment
-from repro.experiments.fig9_multihop import ForwardingProbabilityExperiment
-from repro.experiments.fig9_rpf import PebaExperiment, RpfStrategyExperiment
-from repro.experiments.fig9_scaling import FileCountExperiment, FileSizeExperiment
-from repro.experiments.metrics import RunResult, SweepResult, percentile
+from repro.experiments.fig10_comparison import ComparisonExperiment, SPEC_FIG10, improvements
+from repro.experiments.fig9_bitmaps import (
+    SPEC_FIG9C,
+    SPEC_FIG9D,
+    BitmapsBeforeDataExperiment,
+    BitmapsInterleavedExperiment,
+)
+from repro.experiments.fig9_multihop import SPEC_FIG9GH, ForwardingProbabilityExperiment
+from repro.experiments.fig9_rpf import SPEC_FIG9A, SPEC_FIG9B, PebaExperiment, RpfStrategyExperiment
+from repro.experiments.fig9_scaling import SPEC_FIG9E, SPEC_FIG9F, FileCountExperiment, FileSizeExperiment
+from repro.experiments.metrics import RunResult, SweepPoint, SweepResult, percentile
 from repro.experiments.runner import run_protocol_trial, run_trials
 from repro.experiments.scenario import (
     ExperimentConfig,
@@ -36,7 +48,16 @@ from repro.experiments.scenario import (
     get_builder,
     register_protocol,
 )
-from repro.experiments.table1_feasibility import FeasibilityStudy
+from repro.experiments.spec import (
+    Axis,
+    ExperimentSpec,
+    Variant,
+    available_experiments,
+    get_experiment,
+    register_experiment,
+)
+from repro.experiments.sweep import SweepRequest, run_experiment, run_suite
+from repro.experiments.table1_feasibility import SPEC_TABLE1, FeasibilityStudy, run_feasibility_scenario
 from repro.experiments.topology import (
     Topology,
     available_topologies,
@@ -45,10 +66,12 @@ from repro.experiments.topology import (
 )
 
 __all__ = [
+    "Axis",
     "BitmapsBeforeDataExperiment",
     "BitmapsInterleavedExperiment",
     "ComparisonExperiment",
     "ExperimentConfig",
+    "ExperimentSpec",
     "FeasibilityStudy",
     "FileCountExperiment",
     "FileSizeExperiment",
@@ -58,15 +81,25 @@ __all__ = [
     "RunResult",
     "Scenario",
     "ScenarioBuilder",
+    "SweepPoint",
+    "SweepRequest",
     "SweepResult",
     "Topology",
+    "Variant",
+    "available_experiments",
     "available_protocols",
     "available_topologies",
     "get_builder",
+    "get_experiment",
     "get_topology",
+    "improvements",
     "percentile",
+    "register_experiment",
     "register_protocol",
     "register_topology",
+    "run_experiment",
+    "run_feasibility_scenario",
     "run_protocol_trial",
+    "run_suite",
     "run_trials",
 ]

@@ -1,0 +1,178 @@
+"""Experiments CLI: list and run the paper's artefacts from the command line.
+
+Usage (also installed as the ``repro-experiments`` console script)::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig9a --preset tiny --workers 2
+    python -m repro.experiments run all --preset small --workers 8 --out sweeps
+    python -m repro.experiments run fig10 --axis wifi_range=40,80 --trials 2
+
+``run`` flattens every requested experiment into one task grid executed
+over a single persistent process pool; with ``--out`` each finished task is
+persisted (content-hash keyed), so an interrupted sweep resumes from the
+completed tasks on the next invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.scenario import ExperimentConfig
+from repro.experiments.spec import available_experiments, get_experiment
+from repro.experiments.sweep import SweepRequest, run_suite
+
+
+def _parse_axis_value(token: str) -> object:
+    token = token.strip()
+    if token.lower() in ("none", "null"):
+        return None
+    for parse in (int, float):
+        try:
+            return parse(token)
+        except ValueError:
+            continue
+    return token
+
+
+def _parse_axis_overrides(entries: Sequence[str]) -> Dict[str, tuple]:
+    axes: Dict[str, tuple] = {}
+    for entry in entries:
+        if "=" not in entry:
+            raise SystemExit(f"--axis expects NAME=V1,V2,... (got {entry!r})")
+        name, _, values = entry.partition("=")
+        axes[name.strip()] = tuple(_parse_axis_value(value) for value in values.split(","))
+    return axes
+
+
+def _resolve_names(names: Sequence[str]) -> List[str]:
+    if any(name.lower() == "all" for name in names):
+        return available_experiments()
+    resolved: List[str] = []
+    for name in names:
+        spec = get_experiment(name)  # raises with the available list on typos
+        if spec.name not in resolved:
+            resolved.append(spec.name)
+    return resolved
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_experiments():
+        spec = get_experiment(name)
+        rows.append((name, ", ".join(spec.artefacts), spec.task_count(), spec.title))
+    name_width = max(len(row[0]) for row in rows)
+    artefact_width = max(len(row[1]) for row in rows)
+    print(f"{'name':<{name_width}}  {'artefacts':<{artefact_width}}  tasks  title")
+    for name, artefacts, tasks, title in rows:
+        print(f"{name:<{name_width}}  {artefacts:<{artefact_width}}  {tasks:>5}  {title}")
+    print("\n(tasks = points x trials at the default small() preset and axes)")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = _resolve_names(args.experiments)
+    overrides: Dict[str, object] = {}
+    if args.trials is not None:
+        overrides["trials"] = args.trials
+    if args.seed is not None:
+        overrides["base_seed"] = args.seed
+    if args.topology is not None:
+        overrides["topology"] = args.topology
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    config = ExperimentConfig.preset(args.preset).with_overrides(**overrides)
+    axes = _parse_axis_overrides(args.axis)
+
+    requests = []
+    matched_axes = set()
+    for name in names:
+        spec = get_experiment(name)
+        spec_axes = {axis.name for axis in spec.axes}
+        matched_axes |= spec_axes & set(axes)
+        requests.append(
+            SweepRequest(
+                spec=spec,
+                config=config,
+                axes={key: values for key, values in axes.items() if key in spec_axes} or None,
+            )
+        )
+    unmatched = set(axes) - matched_axes
+    if unmatched:
+        known = sorted({axis.name for name in names for axis in get_experiment(name).axes})
+        raise SystemExit(
+            f"--axis {'/'.join(sorted(unmatched))} matches no axis of the requested "
+            f"experiment(s); available axes: {known}"
+        )
+
+    total = sum(
+        request.spec.with_axes(request.axes).task_count(config) for request in requests
+    )
+    print(
+        f"running {len(requests)} experiment(s), {total} tasks, "
+        f"preset={args.preset}, workers={args.workers or config.workers}"
+        + (f", out={args.out}" if args.out else "")
+    )
+
+    def progress(what: str, done: int, task_total: int) -> None:
+        if args.quiet:
+            return
+        print(f"  [{done:>4}/{task_total}] {what}", flush=True)
+
+    results = run_suite(
+        requests,
+        workers=args.workers,
+        out_dir=args.out,
+        resume=not args.no_resume,
+        progress=progress,
+    )
+    for result in results:
+        print()
+        print(result.summary())
+    if args.out:
+        print(f"\nresults persisted under {args.out}/ (one <experiment>.json per sweep)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="List and run the paper's experiments (declarative sweep registry).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser("list", help="list registered experiments")
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = sub.add_parser("run", help="run one or more experiments (or 'all')")
+    run_parser.add_argument(
+        "experiments", nargs="+", metavar="EXPERIMENT",
+        help="experiment names/aliases (fig9a ... table1), or 'all'",
+    )
+    run_parser.add_argument("--preset", choices=("tiny", "small", "paper"), default="small",
+                            help="scale preset (default: small)")
+    run_parser.add_argument("--workers", type=int, default=None,
+                            help="process-pool size for the whole task grid (default: preset)")
+    run_parser.add_argument("--trials", type=int, default=None, help="trials per sweep point")
+    run_parser.add_argument("--seed", type=int, default=None, help="base seed")
+    run_parser.add_argument("--topology", default=None,
+                            help="registered topology name (quadrant, clusters, corridor, ...)")
+    run_parser.add_argument("--out", default=None, metavar="DIR",
+                            help="persist per-task results + aggregated JSON under DIR (enables resume)")
+    run_parser.add_argument("--no-resume", action="store_true",
+                            help="ignore previously persisted task results")
+    run_parser.add_argument("--axis", action="append", default=[], metavar="NAME=V1,V2",
+                            help="override an axis, e.g. --axis wifi_range=40,80 (repeatable)")
+    run_parser.add_argument("--quiet", action="store_true", help="suppress per-task progress lines")
+    run_parser.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,20 +1,25 @@
 """Fig. 9c / Fig. 9d — how many advertisements to exchange, and when.
 
-* :class:`BitmapsBeforeDataExperiment` (Fig. 9c): peers first exchange a
-  fixed number of bitmaps (1-4, or every peer in range) and only then start
-  downloading data.
-* :class:`BitmapsInterleavedExperiment` (Fig. 9d): the same bitmap budgets,
-  but bitmap exchanges are interleaved with data downloading — the setting
-  the paper recommends (16-23 % shorter downloads).
+* ``fig9c`` (:data:`SPEC_FIG9C`): peers first exchange a fixed number of
+  bitmaps (1-4, or every peer in range) and only then start downloading
+  data.
+* ``fig9d`` (:data:`SPEC_FIG9D`): the same bitmap budgets, but bitmap
+  exchanges are interleaved with data downloading — the setting the paper
+  recommends (16-23 % shorter downloads).
+
+Both are registered :class:`ExperimentSpec`s; the historical classes remain
+as thin deprecated shims.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import warnings
+from typing import Optional, Sequence, Tuple
 
 from repro.experiments.metrics import SweepResult
-from repro.experiments.runner import run_trials
 from repro.experiments.scenario import ExperimentConfig
+from repro.experiments.spec import Axis, ExperimentSpec, Variant, register_experiment
+from repro.experiments.sweep import run_experiment
 
 DEFAULT_WIFI_RANGES = (20.0, 40.0, 60.0, 80.0, 100.0)
 DEFAULT_BITMAP_BUDGETS = (1, 2, 3, 4, None)  # None == "all bitmaps"
@@ -26,12 +31,47 @@ def _budget_label(budget) -> str:
     return f"{budget} bitmap" + ("s" if budget != 1 else "")
 
 
-class _BitmapBudgetExperiment:
-    """Shared sweep over (wifi range x bitmap budget) for one exchange mode."""
+def budget_variants(budgets: Sequence[Optional[int]]) -> Tuple[Variant, ...]:
+    return tuple(
+        Variant(
+            label=_budget_label(budget),
+            overrides={"dapes_max_bitmaps": budget},
+            parameters={"max_bitmaps": budget},
+        )
+        for budget in budgets
+    )
 
-    exchange_mode = "before"
-    figure = "Fig. 9c"
-    description = "Bitmaps are exchanged before any data is downloaded."
+
+SPEC_FIG9C = register_experiment(
+    ExperimentSpec(
+        name="fig9c",
+        title="Fig. 9c — download time vs number of exchanged bitmaps",
+        description="Bitmaps are exchanged before any data is downloaded.",
+        artefacts=("Fig. 9c",),
+        axes=(Axis(name="wifi_range", values=DEFAULT_WIFI_RANGES, config_key="wifi_range"),),
+        variants=budget_variants(DEFAULT_BITMAP_BUDGETS),
+        overrides={"dapes_bitmap_exchange": "before"},
+    )
+)
+
+SPEC_FIG9D = register_experiment(
+    ExperimentSpec(
+        name="fig9d",
+        title="Fig. 9d — download time vs number of exchanged bitmaps",
+        description="Bitmap exchanges are interleaved with data downloading.",
+        artefacts=("Fig. 9d",),
+        axes=(Axis(name="wifi_range", values=DEFAULT_WIFI_RANGES, config_key="wifi_range"),),
+        variants=budget_variants(DEFAULT_BITMAP_BUDGETS),
+        overrides={"dapes_bitmap_exchange": "interleaved"},
+    )
+)
+
+
+# ------------------------------------------------- deprecated class shims
+class _BitmapBudgetExperiment:
+    """Deprecated shim: shared sweep over (wifi range x bitmap budget)."""
+
+    spec = SPEC_FIG9C
 
     def __init__(
         self,
@@ -39,43 +79,30 @@ class _BitmapBudgetExperiment:
         wifi_ranges: Sequence[float] = DEFAULT_WIFI_RANGES,
         bitmap_budgets: Sequence[Optional[int]] = DEFAULT_BITMAP_BUDGETS,
     ):
+        warnings.warn(
+            f"{type(self).__name__} is deprecated; "
+            f"use run_experiment({self.spec.name!r}, ...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.config = config if config is not None else ExperimentConfig.small()
         self.wifi_ranges = list(wifi_ranges)
         self.bitmap_budgets = list(bitmap_budgets)
 
     def run(self) -> SweepResult:
-        result = SweepResult(
-            name=f"{self.figure} — download time vs number of exchanged bitmaps",
-            description=self.description,
+        spec = self.spec.with_variants(budget_variants(self.bitmap_budgets))
+        return run_experiment(
+            spec, self.config, axes={"wifi_range": tuple(self.wifi_ranges)}
         )
-        for wifi_range in self.wifi_ranges:
-            for budget in self.bitmap_budgets:
-                config = self.config.with_overrides(wifi_range=wifi_range)
-                dapes = config.dapes.with_overrides(
-                    bitmap_exchange=self.exchange_mode, max_bitmaps=budget
-                )
-                point = run_trials(
-                    "dapes",
-                    config,
-                    _budget_label(budget),
-                    parameters={"wifi_range": wifi_range, "max_bitmaps": budget},
-                    dapes_config=dapes,
-                )
-                result.add_point(point)
-        return result
 
 
 class BitmapsBeforeDataExperiment(_BitmapBudgetExperiment):
-    """Fig. 9c: bitmaps first, then data."""
+    """Fig. 9c: bitmaps first, then data (deprecated; use ``fig9c``)."""
 
-    exchange_mode = "before"
-    figure = "Fig. 9c"
-    description = "Bitmaps are exchanged before any data is downloaded."
+    spec = SPEC_FIG9C
 
 
 class BitmapsInterleavedExperiment(_BitmapBudgetExperiment):
-    """Fig. 9d: bitmap exchanges interleaved with data downloading."""
+    """Fig. 9d: bitmap exchanges interleaved with data (deprecated; use ``fig9d``)."""
 
-    exchange_mode = "interleaved"
-    figure = "Fig. 9d"
-    description = "Bitmap exchanges are interleaved with data downloading."
+    spec = SPEC_FIG9D

@@ -1,18 +1,22 @@
 """Fig. 9g / Fig. 9h — the impact of multi-hop forwarding.
 
-One experiment produces both figures: the download time (Fig. 9g) and the
-number of transmissions (Fig. 9h) when intermediate nodes (pure forwarders
-and DAPES nodes with no knowledge about the requested data) forward
-0 % (single-hop), 20 %, 40 % or 60 % of received Interests.
+One registered spec (``fig9gh``, aliases ``fig9g`` / ``fig9h``) produces
+both figures: the download time (Fig. 9g) and the number of transmissions
+(Fig. 9h) when intermediate nodes (pure forwarders and DAPES nodes with no
+knowledge about the requested data) forward 0 % (single-hop), 20 %, 40 % or
+60 % of received Interests.  The historical class remains as a thin
+deprecated shim.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import warnings
+from typing import Optional, Sequence, Tuple
 
 from repro.experiments.metrics import SweepResult
-from repro.experiments.runner import run_trials
 from repro.experiments.scenario import ExperimentConfig
+from repro.experiments.spec import Axis, ExperimentSpec, Variant, register_experiment
+from repro.experiments.sweep import run_experiment
 
 DEFAULT_WIFI_RANGES = (20.0, 40.0, 60.0, 80.0, 100.0)
 DEFAULT_PROBABILITIES = (None, 0.2, 0.4, 0.6)  # None == single-hop
@@ -24,8 +28,44 @@ def _probability_label(probability) -> str:
     return f"Multi-hop, forwarding probability={int(probability * 100)}%"
 
 
+def probability_variants(
+    probabilities: Sequence[Optional[float]],
+) -> Tuple[Variant, ...]:
+    variants = []
+    for probability in probabilities:
+        if probability is None:
+            overrides = {"dapes_multi_hop": False, "dapes_forwarding_probability": 0.0}
+        else:
+            overrides = {"dapes_multi_hop": True, "dapes_forwarding_probability": probability}
+        variants.append(
+            Variant(
+                label=_probability_label(probability),
+                overrides=overrides,
+                parameters={"forwarding_probability": probability},
+            )
+        )
+    return tuple(variants)
+
+
+SPEC_FIG9GH = register_experiment(
+    ExperimentSpec(
+        name="fig9gh",
+        title="Fig. 9g/9h — impact of multi-hop forwarding probability",
+        description=(
+            "download_time_s reproduces Fig. 9g; transmissions reproduces Fig. 9h "
+            "for the same sweep."
+        ),
+        artefacts=("Fig. 9g", "Fig. 9h"),
+        aliases=("fig9g", "fig9h"),
+        axes=(Axis(name="wifi_range", values=DEFAULT_WIFI_RANGES, config_key="wifi_range"),),
+        variants=probability_variants(DEFAULT_PROBABILITIES),
+    )
+)
+
+
+# ------------------------------------------------- deprecated class shim
 class ForwardingProbabilityExperiment:
-    """Figs. 9g and 9h: download time and overhead vs forwarding probability."""
+    """Deprecated shim over the registered ``fig9gh`` spec."""
 
     def __init__(
         self,
@@ -33,33 +73,18 @@ class ForwardingProbabilityExperiment:
         wifi_ranges: Sequence[float] = DEFAULT_WIFI_RANGES,
         probabilities: Sequence[Optional[float]] = DEFAULT_PROBABILITIES,
     ):
+        warnings.warn(
+            "ForwardingProbabilityExperiment is deprecated; "
+            "use run_experiment('fig9gh', ...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.config = config if config is not None else ExperimentConfig.small()
         self.wifi_ranges = list(wifi_ranges)
         self.probabilities = list(probabilities)
 
     def run(self) -> SweepResult:
-        result = SweepResult(
-            name="Fig. 9g/9h — impact of multi-hop forwarding probability",
-            description=(
-                "download_time_s reproduces Fig. 9g; transmissions reproduces Fig. 9h "
-                "for the same sweep."
-            ),
+        spec = SPEC_FIG9GH.with_variants(probability_variants(self.probabilities))
+        return run_experiment(
+            spec, self.config, axes={"wifi_range": tuple(self.wifi_ranges)}
         )
-        for wifi_range in self.wifi_ranges:
-            for probability in self.probabilities:
-                config = self.config.with_overrides(wifi_range=wifi_range)
-                if probability is None:
-                    dapes = config.dapes.with_overrides(multi_hop=False, forwarding_probability=0.0)
-                else:
-                    dapes = config.dapes.with_overrides(
-                        multi_hop=True, forwarding_probability=probability
-                    )
-                point = run_trials(
-                    "dapes",
-                    config,
-                    _probability_label(probability),
-                    parameters={"wifi_range": wifi_range, "forwarding_probability": probability},
-                    dapes_config=dapes,
-                )
-                result.add_point(point)
-        return result

@@ -1,96 +1,126 @@
 """Fig. 9a / Fig. 9b — data-fetching strategy and collision mitigation trade-offs.
 
-* :class:`RpfStrategyExperiment` (Fig. 9a): file-collection download time
-  versus WiFi range for the four combinations of {same, random} starting
-  packet and {encounter-based, local-neighborhood} RPF, with peers fetching
-  the bitmaps of every peer in range before downloading data (the setting
-  used for that figure).
-* :class:`PebaExperiment` (Fig. 9b): number of transmissions versus WiFi
-  range for both RPF flavours, with and without PEBA.
+* ``fig9a`` (:data:`SPEC_FIG9A`): file-collection download time versus WiFi
+  range for the four combinations of {same, random} starting packet and
+  {encounter-based, local-neighborhood} RPF, with peers fetching the
+  bitmaps of every peer in range before downloading data (the setting used
+  for that figure).
+* ``fig9b`` (:data:`SPEC_FIG9B`): number of transmissions versus WiFi range
+  for both RPF flavours, with and without PEBA.
+
+Both are registered :class:`ExperimentSpec`s; run them with
+``run_experiment("fig9a")`` or ``python -m repro.experiments run fig9a``.
+The historical classes remain as thin deprecated shims.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import warnings
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.experiments.metrics import SweepResult
-from repro.experiments.runner import run_trials
 from repro.experiments.scenario import ExperimentConfig
+from repro.experiments.spec import Axis, ExperimentSpec, Variant, register_experiment
+from repro.experiments.sweep import run_experiment
 
 DEFAULT_WIFI_RANGES = (20.0, 40.0, 60.0, 80.0, 100.0)
 
 
-class RpfStrategyExperiment:
-    """Fig. 9a: download time for the RPF variants and start-packet policies."""
-
-    VARIANTS = (
-        ("Same packet, encounter-based RPF", {"rpf_strategy": "encounter", "random_start": False}),
-        ("Random packet, encounter-based RPF", {"rpf_strategy": "encounter", "random_start": True}),
-        ("Same packet, local neighborhood RPF", {"rpf_strategy": "local", "random_start": False}),
-        ("Random packet, local neighborhood RPF", {"rpf_strategy": "local", "random_start": True}),
+def _dapes_variants(table: Sequence[Tuple[str, Dict[str, object]]]) -> Tuple[Variant, ...]:
+    """Labelled DAPES variants whose parameters mirror their config overrides."""
+    return tuple(
+        Variant(
+            label=label,
+            overrides={f"dapes_{key}": value for key, value in overrides.items()},
+            parameters=dict(overrides),
+        )
+        for label, overrides in table
     )
+
+
+_RPF_VARIANTS = (
+    ("Same packet, encounter-based RPF", {"rpf_strategy": "encounter", "random_start": False}),
+    ("Random packet, encounter-based RPF", {"rpf_strategy": "encounter", "random_start": True}),
+    ("Same packet, local neighborhood RPF", {"rpf_strategy": "local", "random_start": False}),
+    ("Random packet, local neighborhood RPF", {"rpf_strategy": "local", "random_start": True}),
+)
+
+_PEBA_VARIANTS = (
+    ("Encounter-based RPF (w/o PEBA)", {"rpf_strategy": "encounter", "peba_enabled": False}),
+    ("Local neighborhood RPF (w/o PEBA)", {"rpf_strategy": "local", "peba_enabled": False}),
+    ("Encounter-based RPF (PEBA)", {"rpf_strategy": "encounter", "peba_enabled": True}),
+    ("Local neighborhood RPF (PEBA)", {"rpf_strategy": "local", "peba_enabled": True}),
+)
+
+SPEC_FIG9A = register_experiment(
+    ExperimentSpec(
+        name="fig9a",
+        title="Fig. 9a — download time per RPF strategy",
+        description="Peers fetch the bitmaps of all peers in range before downloading data.",
+        artefacts=("Fig. 9a",),
+        axes=(Axis(name="wifi_range", values=DEFAULT_WIFI_RANGES, config_key="wifi_range"),),
+        variants=_dapes_variants(_RPF_VARIANTS),
+        overrides={"dapes_bitmap_exchange": "before", "dapes_max_bitmaps": None},
+    )
+)
+
+SPEC_FIG9B = register_experiment(
+    ExperimentSpec(
+        name="fig9b",
+        title="Fig. 9b — transmissions per RPF strategy, with and without PEBA",
+        description="Number of packet transmissions needed to distribute the collection.",
+        artefacts=("Fig. 9b",),
+        axes=(Axis(name="wifi_range", values=DEFAULT_WIFI_RANGES, config_key="wifi_range"),),
+        variants=_dapes_variants(_PEBA_VARIANTS),
+        overrides={"dapes_bitmap_exchange": "before", "dapes_max_bitmaps": None},
+    )
+)
+
+
+# ------------------------------------------------- deprecated class shims
+class RpfStrategyExperiment:
+    """Deprecated shim over the registered ``fig9a`` spec."""
+
+    VARIANTS = _RPF_VARIANTS
 
     def __init__(
         self,
         config: Optional[ExperimentConfig] = None,
         wifi_ranges: Sequence[float] = DEFAULT_WIFI_RANGES,
     ):
+        warnings.warn(
+            "RpfStrategyExperiment is deprecated; use run_experiment('fig9a', ...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.config = config if config is not None else ExperimentConfig.small()
         self.wifi_ranges = list(wifi_ranges)
 
     def run(self) -> SweepResult:
-        result = SweepResult(
-            name="Fig. 9a — download time per RPF strategy",
-            description="Peers fetch the bitmaps of all peers in range before downloading data.",
+        return run_experiment(
+            SPEC_FIG9A, self.config, axes={"wifi_range": tuple(self.wifi_ranges)}
         )
-        for wifi_range in self.wifi_ranges:
-            for label, overrides in self.VARIANTS:
-                config = self.config.with_overrides(wifi_range=wifi_range)
-                dapes = config.dapes.with_overrides(bitmap_exchange="before", max_bitmaps=None, **overrides)
-                point = run_trials(
-                    "dapes",
-                    config,
-                    label,
-                    parameters={"wifi_range": wifi_range, **overrides},
-                    dapes_config=dapes,
-                )
-                result.add_point(point)
-        return result
 
 
 class PebaExperiment:
-    """Fig. 9b: transmissions for both RPF flavours, with and without PEBA."""
+    """Deprecated shim over the registered ``fig9b`` spec."""
 
-    VARIANTS = (
-        ("Encounter-based RPF (w/o PEBA)", {"rpf_strategy": "encounter", "peba_enabled": False}),
-        ("Local neighborhood RPF (w/o PEBA)", {"rpf_strategy": "local", "peba_enabled": False}),
-        ("Encounter-based RPF (PEBA)", {"rpf_strategy": "encounter", "peba_enabled": True}),
-        ("Local neighborhood RPF (PEBA)", {"rpf_strategy": "local", "peba_enabled": True}),
-    )
+    VARIANTS = _PEBA_VARIANTS
 
     def __init__(
         self,
         config: Optional[ExperimentConfig] = None,
         wifi_ranges: Sequence[float] = DEFAULT_WIFI_RANGES,
     ):
+        warnings.warn(
+            "PebaExperiment is deprecated; use run_experiment('fig9b', ...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.config = config if config is not None else ExperimentConfig.small()
         self.wifi_ranges = list(wifi_ranges)
 
     def run(self) -> SweepResult:
-        result = SweepResult(
-            name="Fig. 9b — transmissions per RPF strategy, with and without PEBA",
-            description="Number of packet transmissions needed to distribute the collection.",
+        return run_experiment(
+            SPEC_FIG9B, self.config, axes={"wifi_range": tuple(self.wifi_ranges)}
         )
-        for wifi_range in self.wifi_ranges:
-            for label, overrides in self.VARIANTS:
-                config = self.config.with_overrides(wifi_range=wifi_range)
-                dapes = config.dapes.with_overrides(bitmap_exchange="before", max_bitmaps=None, **overrides)
-                point = run_trials(
-                    "dapes",
-                    config,
-                    label,
-                    parameters={"wifi_range": wifi_range, **overrides},
-                    dapes_config=dapes,
-                )
-                result.add_point(point)
-        return result

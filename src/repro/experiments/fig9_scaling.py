@@ -1,31 +1,64 @@
 """Fig. 9e / Fig. 9f — scaling the collection.
 
-* :class:`FileCountExperiment` (Fig. 9e): download time for a varying number
-  of files per collection (each file of the base size).
-* :class:`FileSizeExperiment` (Fig. 9f): download time for a varying file
-  size (the collection keeps its base number of files).
+* ``fig9e`` (:data:`SPEC_FIG9E`): download time for a varying number of
+  files per collection (each file of the base size).
+* ``fig9f`` (:data:`SPEC_FIG9F`): download time for a varying file size
+  (the collection keeps its base number of files).
 
 At paper scale the sweeps are 10-70 files of 1 MB, and 1-15 MB files; the
-benchmark presets sweep the same *ratios* at reduced absolute sizes so the
-curves keep their shape (EXPERIMENTS.md documents the scaling).
+specs sweep *factors* over the preset's base workload (``Axis.scale_by``),
+so reduced-scale presets keep the same ratios and the curves keep their
+shape (EXPERIMENTS.md documents the scaling).  The historical classes
+remain as thin deprecated shims.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Sequence
 
 from repro.experiments.metrics import SweepResult
-from repro.experiments.runner import run_trials
 from repro.experiments.scenario import ExperimentConfig
+from repro.experiments.spec import Axis, ExperimentSpec, Variant, register_experiment
+from repro.experiments.sweep import run_experiment
 
 DEFAULT_WIFI_RANGES = (20.0, 40.0, 60.0, 80.0, 100.0)
 # Multipliers over the base workload, mirroring 10/30/50/70 files and 1/5/10/15 MB.
 DEFAULT_FILE_COUNT_FACTORS = (1, 3, 5, 7)
 DEFAULT_FILE_SIZE_FACTORS = (1, 5, 10, 15)
 
+SPEC_FIG9E = register_experiment(
+    ExperimentSpec(
+        name="fig9e",
+        title="Fig. 9e — download time vs number of files",
+        description="Each file keeps the base size; the number of files grows.",
+        artefacts=("Fig. 9e",),
+        axes=(
+            Axis(name="wifi_range", values=DEFAULT_WIFI_RANGES, config_key="wifi_range"),
+            Axis(name="num_files_factor", values=DEFAULT_FILE_COUNT_FACTORS, scale_by="num_files"),
+        ),
+        variants=(Variant(label="Number of files={num_files}"),),
+    )
+)
 
+SPEC_FIG9F = register_experiment(
+    ExperimentSpec(
+        name="fig9f",
+        title="Fig. 9f — download time vs file size",
+        description="The collection keeps the base number of files; each file grows.",
+        artefacts=("Fig. 9f",),
+        axes=(
+            Axis(name="wifi_range", values=DEFAULT_WIFI_RANGES, config_key="wifi_range"),
+            Axis(name="file_size_factor", values=DEFAULT_FILE_SIZE_FACTORS, scale_by="file_size"),
+        ),
+        variants=(Variant(label="File size factor={file_size_factor}x"),),
+    )
+)
+
+
+# ------------------------------------------------- deprecated class shims
 class FileCountExperiment:
-    """Fig. 9e: download time vs number of files in the collection."""
+    """Deprecated shim over the registered ``fig9e`` spec."""
 
     def __init__(
         self,
@@ -33,32 +66,28 @@ class FileCountExperiment:
         wifi_ranges: Sequence[float] = DEFAULT_WIFI_RANGES,
         count_factors: Sequence[int] = DEFAULT_FILE_COUNT_FACTORS,
     ):
+        warnings.warn(
+            "FileCountExperiment is deprecated; use run_experiment('fig9e', ...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.config = config if config is not None else ExperimentConfig.small()
         self.wifi_ranges = list(wifi_ranges)
         self.count_factors = list(count_factors)
 
     def run(self) -> SweepResult:
-        result = SweepResult(
-            name="Fig. 9e — download time vs number of files",
-            description="Each file keeps the base size; the number of files grows.",
+        return run_experiment(
+            SPEC_FIG9E,
+            self.config,
+            axes={
+                "wifi_range": tuple(self.wifi_ranges),
+                "num_files_factor": tuple(self.count_factors),
+            },
         )
-        base_files = self.config.num_files
-        for wifi_range in self.wifi_ranges:
-            for factor in self.count_factors:
-                num_files = base_files * factor
-                config = self.config.with_overrides(wifi_range=wifi_range, num_files=num_files)
-                point = run_trials(
-                    "dapes",
-                    config,
-                    f"Number of files={num_files}",
-                    parameters={"wifi_range": wifi_range, "num_files": num_files},
-                )
-                result.add_point(point)
-        return result
 
 
 class FileSizeExperiment:
-    """Fig. 9f: download time vs file size."""
+    """Deprecated shim over the registered ``fig9f`` spec."""
 
     def __init__(
         self,
@@ -66,25 +95,21 @@ class FileSizeExperiment:
         wifi_ranges: Sequence[float] = DEFAULT_WIFI_RANGES,
         size_factors: Sequence[int] = DEFAULT_FILE_SIZE_FACTORS,
     ):
+        warnings.warn(
+            "FileSizeExperiment is deprecated; use run_experiment('fig9f', ...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.config = config if config is not None else ExperimentConfig.small()
         self.wifi_ranges = list(wifi_ranges)
         self.size_factors = list(size_factors)
 
     def run(self) -> SweepResult:
-        result = SweepResult(
-            name="Fig. 9f — download time vs file size",
-            description="The collection keeps the base number of files; each file grows.",
+        return run_experiment(
+            SPEC_FIG9F,
+            self.config,
+            axes={
+                "wifi_range": tuple(self.wifi_ranges),
+                "file_size_factor": tuple(self.size_factors),
+            },
         )
-        base_size = self.config.file_size
-        for wifi_range in self.wifi_ranges:
-            for factor in self.size_factors:
-                file_size = base_size * factor
-                config = self.config.with_overrides(wifi_range=wifi_range, file_size=file_size)
-                point = run_trials(
-                    "dapes",
-                    config,
-                    f"File size factor={factor}x",
-                    parameters={"wifi_range": wifi_range, "file_size": file_size},
-                )
-                result.add_point(point)
-        return result

@@ -1,10 +1,18 @@
-"""Result containers and statistics helpers for the experiment harness."""
+"""Result containers and statistics helpers for the experiment harness.
+
+:class:`RunResult` (one trial), :class:`SweepPoint` (one aggregated
+parameter point) and :class:`SweepResult` (one whole experiment) all
+round-trip through JSON (``to_dict``/``from_dict`` and
+``SweepResult.to_json``/``from_json``), which is what the sweep scheduler's
+per-task caching and the experiments CLI persist.
+"""
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -53,6 +61,7 @@ class RunResult:
     duration: float = 0.0
     events: int = 0
     node_loads: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    extras: Dict[str, float] = field(default_factory=dict)
 
     @property
     def mean_download_time(self) -> float:
@@ -79,6 +88,58 @@ class RunResult:
             "duration": self.duration,
         }
 
+    # --------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe dict carrying *every* field (lossless round-trip)."""
+        return {
+            "protocol": self.protocol,
+            "seed": self.seed,
+            "parameters": dict(self.parameters),
+            "download_times": dict(self.download_times),
+            "incomplete_nodes": list(self.incomplete_nodes),
+            "transmissions": self.transmissions,
+            "transmissions_by_kind": dict(self.transmissions_by_kind),
+            "transmissions_by_protocol": dict(self.transmissions_by_protocol),
+            "collisions": self.collisions,
+            "losses": self.losses,
+            "duration": self.duration,
+            "events": self.events,
+            "node_loads": {
+                node: dict(loads) for node, loads in self.node_loads.items()
+            },
+            "extras": dict(self.extras),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunResult":
+        return cls(
+            protocol=data["protocol"],
+            seed=data["seed"],
+            parameters=dict(data.get("parameters", {})),
+            download_times=dict(data.get("download_times", {})),
+            incomplete_nodes=list(data.get("incomplete_nodes", [])),
+            transmissions=data.get("transmissions", 0),
+            transmissions_by_kind=dict(data.get("transmissions_by_kind", {})),
+            transmissions_by_protocol=dict(data.get("transmissions_by_protocol", {})),
+            collisions=data.get("collisions", 0),
+            losses=data.get("losses", 0),
+            duration=data.get("duration", 0.0),
+            events=data.get("events", 0),
+            node_loads={
+                node: dict(loads)
+                for node, loads in data.get("node_loads", {}).items()
+            },
+            extras=dict(data.get("extras", {})),
+        )
+
+
+def _freeze_parameters(parameters: Dict[str, object]) -> Optional[frozenset]:
+    """Hashable signature of a parameter dict, or ``None`` if unhashable."""
+    try:
+        return frozenset(parameters.items())
+    except TypeError:
+        return None
+
 
 @dataclass
 class SweepPoint:
@@ -91,6 +152,12 @@ class SweepPoint:
     completion_ratio: float
     trials: int
     extras: Dict[str, float] = field(default_factory=dict)
+    # Per-trial raw results; populated by the sweep scheduler and carried
+    # through JSON persistence, but excluded from equality so aggregates
+    # compare identically whether or not the raw trials travelled along.
+    trial_results: List[RunResult] = field(
+        default_factory=list, compare=False, repr=False
+    )
 
     def as_dict(self) -> Dict[str, object]:
         row = {
@@ -104,6 +171,36 @@ class SweepPoint:
         row.update(self.parameters)
         return row
 
+    # --------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe dict (lossless, including per-trial results)."""
+        return {
+            "label": self.label,
+            "parameters": dict(self.parameters),
+            "download_time": self.download_time,
+            "transmissions": self.transmissions,
+            "completion_ratio": self.completion_ratio,
+            "trials": self.trials,
+            "extras": dict(self.extras),
+            "trial_results": [result.to_dict() for result in self.trial_results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SweepPoint":
+        return cls(
+            label=data["label"],
+            parameters=dict(data.get("parameters", {})),
+            download_time=data["download_time"],
+            transmissions=data["transmissions"],
+            completion_ratio=data["completion_ratio"],
+            trials=data["trials"],
+            extras=dict(data.get("extras", {})),
+            trial_results=[
+                RunResult.from_dict(result)
+                for result in data.get("trial_results", [])
+            ],
+        )
+
 
 @dataclass
 class SweepResult:
@@ -112,9 +209,25 @@ class SweepResult:
     name: str
     description: str
     points: List[SweepPoint] = field(default_factory=list)
+    # Lookup indexes maintained by add_point (see point()).
+    _by_label: Dict[str, List[SweepPoint]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _exact: Dict[Tuple[str, frozenset], SweepPoint] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        existing, self.points = self.points, []
+        for point in existing:
+            self.add_point(point)
 
     def add_point(self, point: SweepPoint) -> None:
         self.points.append(point)
+        self._by_label.setdefault(point.label, []).append(point)
+        signature = _freeze_parameters(point.parameters)
+        if signature is not None:
+            self._exact.setdefault((point.label, signature), point)
 
     def rows(self) -> List[Dict[str, object]]:
         """Rows in the same structure the paper's figures/tables plot."""
@@ -129,10 +242,19 @@ class SweepResult:
         return grouped
 
     def point(self, label: str, **parameters) -> Optional[SweepPoint]:
-        """Find a specific point by label and parameter values."""
-        for candidate in self.points:
-            if candidate.label != label:
-                continue
+        """Find a specific point by label and parameter values.
+
+        Full-parameter lookups hit the ``(label, frozen parameters)`` index
+        built by :meth:`add_point` in O(1); partial-parameter lookups scan
+        only the points sharing ``label`` (first match in insertion order,
+        like the historical linear scan).
+        """
+        signature = _freeze_parameters(parameters) if parameters else None
+        if signature is not None:
+            exact = self._exact.get((label, signature))
+            if exact is not None:
+                return exact
+        for candidate in self._by_label.get(label, []):
             if all(candidate.parameters.get(key) == value for key, value in parameters.items()):
                 return candidate
         return None
@@ -150,6 +272,30 @@ class SweepResult:
             row = point.as_dict()
             lines.append(" | ".join(f"{str(row.get(column, '')):>18}" for column in columns))
         return "\n".join(lines)
+
+    # --------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "points": [point.to_dict() for point in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SweepResult":
+        return cls(
+            name=data["name"],
+            description=data.get("description", ""),
+            points=[SweepPoint.from_dict(point) for point in data.get("points", [])],
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize the whole sweep — per-trial :class:`RunResult`s included."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        return cls.from_dict(json.loads(text))
 
 
 def aggregate_trials(

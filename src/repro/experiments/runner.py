@@ -12,6 +12,7 @@ whichever mode produced it.
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional
@@ -129,9 +130,15 @@ def run_trials(
         try:
             with ProcessPoolExecutor(max_workers=min(workers, len(seeds))) as pool:
                 results = list(pool.map(_pool_trial, tasks))
-        except (OSError, BrokenProcessPool):
+        except (OSError, BrokenProcessPool) as exc:
             # Process pools may be unavailable (restricted sandboxes); the
-            # serial path below produces the same aggregate.
+            # serial path below produces the same aggregate, just slower.
+            warnings.warn(
+                f"process pool unavailable ({exc!r}); "
+                f"falling back to serial execution of {len(seeds)} trials",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             results = None
     if results is None:
         results = [

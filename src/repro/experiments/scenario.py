@@ -24,7 +24,7 @@ topology catalogue and the parallel trial runner.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Type
 
 from repro.crypto.keys import KeyPair
@@ -119,6 +119,17 @@ class ExperimentConfig:
             wifi_range=80.0,
         )
 
+    @classmethod
+    def preset(cls, name: str) -> "ExperimentConfig":
+        """Look up a preset by name (``tiny``, ``small`` or ``paper``)."""
+        presets = {"tiny": cls.tiny, "small": cls.small, "paper": cls.paper}
+        try:
+            return presets[name]()
+        except KeyError:
+            raise ValueError(
+                f"unknown preset {name!r}; available: {sorted(presets)}"
+            ) from None
+
     def with_overrides(self, **overrides) -> "ExperimentConfig":
         """Copy with selected fields replaced (``dapes_`` prefixed keys reach the DAPES config)."""
         dapes_overrides = {
@@ -128,6 +139,23 @@ class ExperimentConfig:
         config = replace(self, **plain)
         if dapes_overrides:
             config = replace(config, dapes=config.dapes.with_overrides(**dapes_overrides))
+        return config
+
+    # --------------------------------------------------------- serialization
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-safe dict of every knob (nested DAPES config included)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentConfig":
+        """Rebuild a config from :meth:`as_dict` output."""
+        from repro.core import DapesConfig
+
+        plain = dict(data)
+        dapes = plain.pop("dapes", None)
+        config = cls(**plain)
+        if dapes is not None:
+            config = replace(config, dapes=DapesConfig(**dapes))
         return config
 
     # --------------------------------------------------------------- derived

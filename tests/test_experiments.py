@@ -174,3 +174,71 @@ def test_feasibility_single_scenario_runs():
     assert outcome.memory_overhead_mb > 0
     row = outcome.as_row()
     assert set(row) >= {"download_time_s", "transmissions", "memory_overhead_mb", "context_switches"}
+
+
+# ----------------------------------------------------- metrics edge cases
+def test_percentile_q100_is_maximum():
+    assert percentile([3.0, 1.0, 2.0], 100) == 3.0
+    assert percentile([3.0, 1.0, 2.0], 0) == 1.0
+
+
+def test_percentile_single_value_any_q():
+    for q in (0, 50, 90, 100):
+        assert percentile([7.5], q) == 7.5
+
+
+def test_mean_download_time_all_trials_incomplete_counts_duration():
+    result = RunResult(
+        protocol="dapes", seed=1, download_times={},
+        incomplete_nodes=["a", "b"], duration=120.0,
+    )
+    assert result.mean_download_time == pytest.approx(120.0)
+    assert result.completion_ratio == 0.0
+
+
+def test_mean_download_time_no_downloaders_is_nan():
+    import math
+
+    result = RunResult(protocol="dapes", seed=1)
+    assert math.isnan(result.mean_download_time)
+    assert result.completion_ratio == 0.0
+
+
+def test_aggregate_trials_single_trial_passes_values_through():
+    result = RunResult(
+        protocol="dapes", seed=1, download_times={"a": 12.0},
+        transmissions=34, duration=50.0,
+    )
+    point = aggregate_trials("solo", {"x": 1}, [result], q=90.0)
+    assert point.download_time == pytest.approx(12.0)
+    assert point.transmissions == pytest.approx(34.0)
+    assert point.completion_ratio == 1.0
+    assert point.trials == 1
+
+
+def test_aggregate_trials_all_incomplete_aggregates_durations():
+    results = [
+        RunResult(protocol="dapes", seed=i, download_times={},
+                  incomplete_nodes=["a"], duration=100.0 + i)
+        for i in range(3)
+    ]
+    point = aggregate_trials("stuck", {}, results, q=100.0)
+    assert point.download_time == pytest.approx(102.0)  # q=100 -> slowest duration
+    assert point.completion_ratio == 0.0
+
+
+def test_sweep_result_point_index_matches_linear_scan_semantics():
+    sweep = SweepResult(name="n", description="d")
+    first = SweepPoint("A", {"wifi_range": 40, "variant": 1}, 10.0, 100.0, 1.0, 1)
+    second = SweepPoint("A", {"wifi_range": 40, "variant": 2}, 8.0, 120.0, 1.0, 1)
+    sweep.add_point(first)
+    sweep.add_point(second)
+    # Full-parameter lookups hit the exact index.
+    assert sweep.point("A", wifi_range=40, variant=2) is second
+    # Partial-parameter lookups keep first-match-in-insertion-order semantics.
+    assert sweep.point("A", wifi_range=40) is first
+    assert sweep.point("A") is first
+    assert sweep.point("B", wifi_range=40) is None
+    # Constructor-passed points are indexed too (from_json path).
+    rebuilt = SweepResult(name="n", description="d", points=[first, second])
+    assert rebuilt.point("A", wifi_range=40, variant=2) is second

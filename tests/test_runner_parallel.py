@@ -1,6 +1,8 @@
-"""The process-pool trial runner must mirror the serial path exactly."""
+"""The process-pool runners must mirror the serial path exactly."""
 
-from repro.experiments import ExperimentConfig, available_protocols, run_trials
+import pytest
+
+from repro.experiments import ExperimentConfig, available_protocols, run_experiment, run_trials
 from repro.experiments.runner import trial_seeds
 
 
@@ -27,3 +29,55 @@ def test_workers_config_field_drives_parallelism():
 
 def test_registered_protocols_include_all_paper_protocols():
     assert set(available_protocols()) >= {"dapes", "bithoc", "ekta"}
+
+
+# ------------------------------------------------------------ sweep level
+def test_parallel_sweep_matches_serial_sweep():
+    """The whole-grid scheduler: serial and parallel aggregates are identical."""
+    config = ExperimentConfig.tiny().with_overrides(trials=2, max_duration=180.0)
+    axes = {"wifi_range": (60.0, 80.0)}
+    serial = run_experiment("fig9a", config, axes=axes, workers=1)
+    parallel = run_experiment("fig9a", config, axes=axes, workers=4)
+    assert serial == parallel
+    assert serial.rows() == parallel.rows()
+    # The raw per-trial results must match too (same seeds, same order).
+    for point_s, point_p in zip(serial.points, parallel.points):
+        assert point_s.trial_results == point_p.trial_results
+
+
+def test_parallel_suite_matches_serial_suite():
+    """A whole suite shares one pool and still reproduces the serial outputs."""
+    from repro.experiments import SweepRequest, get_experiment, run_suite
+
+    config = ExperimentConfig.tiny().with_overrides(max_duration=180.0)
+    requests = [
+        SweepRequest(spec=get_experiment("fig9a"), config=config, axes={"wifi_range": (80.0,)}),
+        SweepRequest(spec=get_experiment("fig10"), config=config, axes={"wifi_range": (80.0,)}),
+    ]
+    serial = run_suite(requests, workers=1)
+    parallel = run_suite(requests, workers=4)
+    assert serial == parallel
+
+
+# --------------------------------------------------------- fallback paths
+def _broken_pool(*args, **kwargs):
+    raise OSError("process pools are disabled in this sandbox")
+
+
+def test_run_trials_fallback_to_serial_warns(monkeypatch):
+    config = ExperimentConfig.tiny().with_overrides(trials=2, max_duration=180.0)
+    reference = run_trials("dapes", config, "DAPES", workers=1)
+    monkeypatch.setattr("repro.experiments.runner.ProcessPoolExecutor", _broken_pool)
+    with pytest.warns(RuntimeWarning, match="falling back to serial"):
+        fallback = run_trials("dapes", config, "DAPES", workers=2)
+    assert fallback == reference
+
+
+def test_sweep_fallback_to_serial_warns(monkeypatch):
+    config = ExperimentConfig.tiny().with_overrides(trials=2, max_duration=180.0)
+    axes = {"wifi_range": (80.0,)}
+    reference = run_experiment("fig9a", config, axes=axes, workers=1)
+    monkeypatch.setattr("repro.experiments.sweep.ProcessPoolExecutor", _broken_pool)
+    with pytest.warns(RuntimeWarning, match="falling back to serial"):
+        fallback = run_experiment("fig9a", config, axes=axes, workers=4)
+    assert fallback == reference
