@@ -84,12 +84,43 @@ class Bitmap:
         return self.count() == self._size
 
     def ones(self) -> List[int]:
-        """Indices of packets the peer has."""
-        return [index for index in range(self._size) if self.get(index)]
+        """Indices of packets the peer has (ascending)."""
+        result: List[int] = []
+        append = result.append
+        for byte_index, byte in enumerate(self._bits):
+            if not byte:
+                continue
+            base = byte_index << 3
+            while byte:
+                low = byte & -byte
+                append(base + low.bit_length() - 1)
+                byte &= byte - 1
+        if result and result[-1] >= self._size:
+            return [index for index in result if index < self._size]
+        return result
 
     def missing(self) -> List[int]:
-        """Indices of packets the peer is missing."""
-        return [index for index in range(self._size) if not self.get(index)]
+        """Indices of packets the peer is missing (ascending).
+
+        Scans byte-wise and skips full bytes, so a nearly complete download
+        costs O(size / 8) instead of ``size`` method calls.
+        """
+        result: List[int] = []
+        append = result.append
+        size = self._size
+        for byte_index, byte in enumerate(self._bits):
+            if byte == 0xFF:
+                continue
+            base = byte_index << 3
+            clear = ~byte & 0xFF
+            while clear:
+                low = clear & -clear
+                index = base + low.bit_length() - 1
+                if index >= size:
+                    break
+                append(index)
+                clear &= clear - 1
+        return result
 
     # ----------------------------------------------------------- set algebra
     def union(self, other: "Bitmap") -> "Bitmap":
@@ -160,6 +191,28 @@ class Bitmap:
     def rarity(index: int, bitmaps: Sequence["Bitmap"]) -> int:
         """How many of ``bitmaps`` are missing packet ``index`` (higher = rarer)."""
         return sum(1 for bitmap in bitmaps if not bitmap.get(index))
+
+    @staticmethod
+    def presence_counts(size: int, bitmaps: Sequence["Bitmap"]) -> List[int]:
+        """Per-index count of ``bitmaps`` holding each packet.
+
+        ``rarity(i, bitmaps) == len(bitmaps) - presence_counts(size, bitmaps)[i]``
+        — but computed in one pass over the set bits instead of
+        ``size * len(bitmaps)`` :meth:`get` calls (the RPF selection hot path).
+        """
+        counts = [0] * size
+        for bitmap in bitmaps:
+            for byte_index, byte in enumerate(bitmap._bits):
+                if not byte:
+                    continue
+                base = byte_index << 3
+                while byte:
+                    low = byte & -byte
+                    index = base + low.bit_length() - 1
+                    if index < size:
+                        counts[index] += 1
+                    byte &= byte - 1
+        return counts
 
     @classmethod
     def full(cls, size: int) -> "Bitmap":

@@ -58,17 +58,36 @@ class DapesForwardingStrategy(ForwardingStrategy):
         self.interests_rebroadcast = 0
         self.interests_suppressed = 0
         self.rebroadcasts_satisfied = 0
+        self._face_roles_version = -1
+        self._app_faces_cache: list[int] = []
+        self._broadcast_faces_cache: list[int] = []
 
     def attach(self, forwarder) -> None:
         super().attach(forwarder)
         self._rng = forwarder.sim.rng(f"strategy.dapes.{forwarder.node_id}")
+        self._face_roles_version = -1
 
     # ------------------------------------------------------------ face roles
+    def _refresh_face_roles(self) -> None:
+        # Face-role lists are consulted on every Interest; rebuild them only
+        # when the forwarder's face set actually changed.
+        self._app_faces_cache = [
+            face.face_id for face in self.forwarder.faces() if isinstance(face, AppFace)
+        ]
+        self._broadcast_faces_cache = [
+            face.face_id for face in self.forwarder.faces() if isinstance(face, BroadcastFace)
+        ]
+        self._face_roles_version = self.forwarder.faces_version
+
     def _app_face_ids(self) -> list[int]:
-        return [face.face_id for face in self.forwarder.faces() if isinstance(face, AppFace)]
+        if self._face_roles_version != self.forwarder.faces_version:
+            self._refresh_face_roles()
+        return self._app_faces_cache
 
     def _broadcast_face_ids(self) -> list[int]:
-        return [face.face_id for face in self.forwarder.faces() if isinstance(face, BroadcastFace)]
+        if self._face_roles_version != self.forwarder.faces_version:
+            self._refresh_face_roles()
+        return self._broadcast_faces_cache
 
     # ----------------------------------------------------------------- hooks
     def decide_interest_forwarding(self, interest, incoming_face_id, entry, is_new):

@@ -74,6 +74,11 @@ class CollectionMetadata:
             self._offsets[file_meta.file_name] = offset
             offset += file_meta.packet_count
         self._total = offset
+        # Name <-> bitmap index memos: metadata is immutable and the same
+        # packet names are resolved for every frame heard (hot path).
+        self._index_of_name: Dict[object, Optional[int]] = {}
+        self._name_of_index: Dict[int, Name] = {}
+        self._wire_size_cache: Optional[int] = None
 
     # ------------------------------------------------------------ structure
     @property
@@ -109,12 +114,28 @@ class CollectionMetadata:
         raise IndexError(global_index)  # pragma: no cover - unreachable
 
     def packet_name(self, global_index: int) -> Name:
-        """NDN name of the packet at ``global_index``."""
-        file_name, sequence = self.locate(global_index)
-        return DapesNamespace.packet_name(self.collection, file_name, sequence)
+        """NDN name of the packet at ``global_index`` (memoized; names are hot)."""
+        name = self._name_of_index.get(global_index)
+        if name is None:
+            file_name, sequence = self.locate(global_index)
+            name = DapesNamespace.packet_name(self.collection, file_name, sequence)
+            self._name_of_index[global_index] = name
+        return name
 
     def packet_index_of(self, name) -> Optional[int]:
         """Bitmap index of a packet name, or ``None`` if it does not belong here."""
+        try:
+            return self._index_of_name[name]
+        except KeyError:
+            pass
+        except TypeError:
+            return self._packet_index_of_uncached(name)  # unhashable NameLike
+        index = self._packet_index_of_uncached(name)
+        if len(self._index_of_name) < 4 * self._total + 1024:
+            self._index_of_name[name] = index
+        return index
+
+    def _packet_index_of_uncached(self, name) -> Optional[int]:
         parsed = DapesNamespace.parse_packet_name(name)
         if parsed is None or parsed.collection != self.collection:
             return None
@@ -198,8 +219,16 @@ class CollectionMetadata:
 
     @property
     def wire_size(self) -> int:
-        """Size of the encoded metadata in bytes."""
-        return len(self.encode())
+        """Size of the encoded metadata in bytes.
+
+        Cached: the metadata is immutable and this is sampled by every
+        peer's periodic state-size accounting, which used to re-encode the
+        whole metadata (all per-packet digests) each time.
+        """
+        size = self._wire_size_cache
+        if size is None:
+            size = self._wire_size_cache = len(self.encode())
+        return size
 
     def name(self, segment: Optional[int] = None) -> Name:
         """The metadata's NDN name (optionally of one segment)."""

@@ -57,13 +57,34 @@ class DapesNamespace:
             raise ValueError("sequence must be non-negative")
         return Name(collection).append(file_name, str(sequence))
 
+    _parse_cache: dict = {}
+    _PARSE_CACHE_MISS = object()
+
     @staticmethod
     def parse_packet_name(name: NameLike) -> Optional[PacketName]:
-        """Parse a packet name; returns ``None`` if ``name`` is not one."""
-        name = Name(name)
-        if len(name) != 3:
+        """Parse a packet name; returns ``None`` if ``name`` is not one.
+
+        Memoized like :meth:`classify`: every node re-parses the same packet
+        names for every frame it hears, and :class:`PacketName` is frozen so
+        sharing instances is safe.
+        """
+        if type(name) is not Name:
+            name = Name(name)
+        cache = DapesNamespace._parse_cache
+        parsed = cache.get(name, DapesNamespace._PARSE_CACHE_MISS)
+        if parsed is not DapesNamespace._PARSE_CACHE_MISS:
+            return parsed
+        parsed = DapesNamespace._parse_packet_name_uncached(name)
+        if len(cache) < DapesNamespace._CLASSIFY_CACHE_LIMIT:
+            cache[name] = parsed
+        return parsed
+
+    @staticmethod
+    def _parse_packet_name_uncached(name: Name) -> Optional[PacketName]:
+        components = name.components
+        if len(components) != 3:
             return None
-        collection, file_name, sequence = name.components
+        collection, file_name, sequence = components
         if file_name == METADATA_COMPONENT:
             return None
         try:
@@ -142,14 +163,41 @@ class DapesNamespace:
         return name[3]
 
     # ------------------------------------------------------- classification
+    _classify_cache: dict = {}
+    _CLASSIFY_CACHE_LIMIT = 65536
+
     @staticmethod
     def classify(name: NameLike) -> str:
-        """Frame-kind label used by the overhead accounting."""
+        """Frame-kind label used by the overhead accounting.
+
+        Classification is pure and names repeat heavily (every forwarded
+        frame re-classifies the same packet names), so results are memoized;
+        the bound keeps pathological workloads from growing the table
+        without limit.
+        """
+        cache = DapesNamespace._classify_cache
+        try:
+            kind = cache.get(name)
+        except TypeError:
+            kind = None  # unhashable NameLike (e.g. a component list)
+        if kind is not None:
+            return kind
         name = Name(name)
-        if DapesNamespace.is_discovery_name(name):
-            return "discovery"
-        if DapesNamespace.is_bitmap_name(name):
-            return "bitmap"
-        if DapesNamespace.is_metadata_name(name):
-            return "metadata"
-        return "collection-data"
+        components = name.components
+        # Same decision order as the is_*_name predicates, inlined: the
+        # prefixes are /dapes/discovery and /dapes/bitmap; metadata names
+        # are /<collection>/metadata-file/...
+        if len(components) >= 2 and components[0] == "dapes":
+            second = components[1]
+            if second == "discovery":
+                kind = "discovery"
+            elif second == "bitmap":
+                kind = "bitmap"
+        if kind is None:
+            if len(components) >= 3 and components[1] == METADATA_COMPONENT:
+                kind = "metadata"
+            else:
+                kind = "collection-data"
+        if len(cache) < DapesNamespace._CLASSIFY_CACHE_LIMIT:
+            cache[name] = kind
+        return kind

@@ -51,7 +51,7 @@ from repro.core.stats import NodeLoadStats
 CompletionCallback = Callable[["DapesPeer", str, float], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class _OutstandingInterest:
     """Book-keeping for one outstanding data Interest."""
 
@@ -135,6 +135,7 @@ class DapesPeer:
         self._pending_responses: Dict[Name, object] = {}
         self._outstanding_bitmaps: Dict[Name, str] = {}
         self._completion_callbacks: List[CompletionCallback] = []
+        self._discovery_content_cache: Optional[tuple] = None
         self._started = False
 
         app_face.on_interest = self._on_app_interest
@@ -281,22 +282,29 @@ class DapesPeer:
         self.load.discovery_sent += 1
 
     def _respond_discovery(self, interest: Interest) -> None:
-        offers = []
-        for session in self.sessions.values():
-            if session.metadata is None or session.store is None:
-                continue
-            if session.store.bitmap.count() == 0 and not session.producer:
-                continue
-            offers.append(
-                {
-                    "id": session.collection_id,
-                    "metadata": str(session.metadata_name or session.metadata.name()),
-                    "packets": session.metadata.total_packets,
-                }
-            )
-        if not offers:
+        # The offer list only depends on which sessions are announceable —
+        # not on download progress — so the encoded content is cached until
+        # that key changes (a new collection, metadata arriving, or a store
+        # receiving its first packet).
+        key = tuple(
+            (session.collection_id, str(session.metadata_name or session.metadata.name()),
+             session.metadata.total_packets)
+            for session in self.sessions.values()
+            if session.metadata is not None and session.store is not None
+            and (session.store.bitmap.count() > 0 or session.producer)
+        )
+        if not key:
             return
-        content = json.dumps({"peer": self.node_id, "collections": offers}).encode("utf-8")
+        cached = self._discovery_content_cache
+        if cached is not None and cached[0] == key:
+            content = cached[1]
+        else:
+            offers = [
+                {"id": collection_id, "metadata": metadata_name, "packets": packets}
+                for collection_id, metadata_name, packets in key
+            ]
+            content = json.dumps({"peer": self.node_id, "collections": offers}).encode("utf-8")
+            self._discovery_content_cache = (key, content)
         data = Data(
             name=interest.name,
             content=content,
@@ -467,18 +475,44 @@ class DapesPeer:
         self._schedule_response(data, decision.delay)
 
     # ----------------------------------------------------- discovery handling
-    def _process_discovery_data(self, data: Data) -> None:
+    # Discovery payloads are heard (and re-parsed) by every node in range;
+    # the parse is memoized as an immutable summary so peers share no state.
+    _discovery_parse_cache: Dict[bytes, Optional[tuple]] = {}
+
+    @staticmethod
+    def _parse_discovery_payload(content: bytes) -> Optional[tuple]:
+        cache = DapesPeer._discovery_parse_cache
+        summary = cache.get(content, False)
+        if summary is not False:
+            return summary
         try:
-            payload = json.loads(data.content.decode("utf-8"))
+            payload = json.loads(content.decode("utf-8"))
         except (ValueError, UnicodeDecodeError):
+            payload = None
+        if not isinstance(payload, dict) or not payload.get("peer"):
+            summary = None
+        else:
+            summary = (
+                payload["peer"],
+                tuple(
+                    (entry.get("id"), entry.get("metadata"))
+                    for entry in payload.get("collections", [])
+                    if isinstance(entry, dict)
+                ),
+            )
+        if len(cache) < DapesPeer._BITMAP_DECODE_CACHE_LIMIT:
+            cache[content] = summary
+        return summary
+
+    def _process_discovery_data(self, data: Data) -> None:
+        summary = self._parse_discovery_payload(data.content)
+        if summary is None:
             return
-        peer_id = payload.get("peer")
-        if not peer_id or peer_id == self.node_id:
+        peer_id, collections = summary
+        if peer_id == self.node_id:
             return
         self._touch_neighbor(peer_id)
-        for entry in payload.get("collections", []):
-            collection_id = entry.get("id")
-            metadata_name = entry.get("metadata")
+        for collection_id, metadata_name in collections:
             if not collection_id or not metadata_name:
                 continue
             self.knowledge.observe_interest(peer_id, collection_id, self.sim.now)
@@ -563,15 +597,31 @@ class DapesPeer:
             }
         ).encode("utf-8")
 
+    # One bitmap payload is decoded by every node that hears the frame, so
+    # the decode is memoized process-wide; each caller gets its own Bitmap
+    # copy (cheap bytearray clone) so no state is shared between peers.
+    _bitmap_decode_cache: Dict[bytes, Optional[tuple]] = {}
+    _BITMAP_DECODE_CACHE_LIMIT = 8192
+
     def _decode_bitmap_payload(self, payload) -> Optional[tuple[str, str, Bitmap]]:
         if not isinstance(payload, (bytes, bytearray)):
             return None
-        try:
-            parsed = json.loads(bytes(payload).decode("utf-8"))
-            bitmap = Bitmap.from_bytes(int(parsed["size"]), bytes.fromhex(parsed["bitmap"]))
-            return parsed["peer"], parsed["collection"], bitmap
-        except (ValueError, KeyError, TypeError):
+        payload = bytes(payload)
+        cache = DapesPeer._bitmap_decode_cache
+        decoded = cache.get(payload, False)
+        if decoded is False:
+            try:
+                parsed = json.loads(payload.decode("utf-8"))
+                bitmap = Bitmap.from_bytes(int(parsed["size"]), bytes.fromhex(parsed["bitmap"]))
+                decoded = (parsed["peer"], parsed["collection"], bitmap)
+            except (ValueError, KeyError, TypeError):
+                decoded = None
+            if len(cache) < DapesPeer._BITMAP_DECODE_CACHE_LIMIT:
+                cache[payload] = decoded
+        if decoded is None:
             return None
+        peer_id, collection, bitmap = decoded
+        return peer_id, collection, bitmap.copy()
 
     def _record_neighbor_bitmap(self, peer_id: str, collection: str, bitmap: Bitmap) -> None:
         self.knowledge.observe_bitmap(peer_id, collection, bitmap, self.sim.now)
@@ -643,7 +693,7 @@ class DapesPeer:
             return
         if session.is_complete:
             return
-        if not self._active_neighbors():
+        if not self._has_active_neighbors():
             return
         if self.config.bitmap_exchange == "before":
             if session.bitmaps_received < self._quota(session) and session.bitmaps_requested:
@@ -685,10 +735,10 @@ class DapesPeer:
             # than the Interest lifetime so a single lost frame does not stall
             # the pipeline.
             rto = self.config.data_retransmit_timeout * (2 ** min(retries, 4))
-            self.sim.schedule(rto, self._check_data_interest, session, index, retries)
+            self.sim.schedule_call(rto, self._check_data_interest, session, index, retries)
             self.load.timers_armed += 1
 
-        self.sim.schedule(delay, _send)
+        self.sim.schedule_call(delay, _send)
         self.load.timers_armed += 1
 
     def _check_data_interest(self, session: CollectionSession, index: int, retries: int) -> None:
@@ -699,7 +749,7 @@ class DapesPeer:
         if outstanding is None or outstanding.retries != retries:
             return  # already resolved or superseded by a newer attempt
         session.outstanding.pop(index, None)
-        if retries < self.config.retransmission_limit and self._active_neighbors():
+        if retries < self.config.retransmission_limit and self._has_active_neighbors():
             self.load.retransmissions += 1
             self._send_data_interest(session, index, retries=retries + 1)
         else:
@@ -751,7 +801,7 @@ class DapesPeer:
         if kind == "metadata":
             collection = DapesNamespace.metadata_collection(name)
             session = self.sessions.get(collection)
-            if session is not None and session.metadata is None and self._active_neighbors():
+            if session is not None and session.metadata is None and self._has_active_neighbors():
                 self.load.retransmissions += 1
                 self._request_metadata(session)
             return
@@ -785,6 +835,13 @@ class DapesPeer:
         cutoff = self.sim.now - self.config.neighbor_timeout
         return [peer for peer, heard in self.neighbors.items() if heard >= cutoff]
 
+    def _has_active_neighbors(self) -> bool:
+        """Truthiness-only variant of :meth:`_active_neighbors` (hot path)."""
+        if self.sim.now - self._last_neighbor_heard <= self.config.neighbor_timeout:
+            return True
+        cutoff = self.sim.now - self.config.neighbor_timeout
+        return any(heard >= cutoff for heard in self.neighbors.values())
+
     def _housekeeping(self) -> None:
         self.load.activation()
         now = self.sim.now
@@ -815,7 +872,7 @@ class DapesPeer:
             if session.interested and not session.is_complete and session.metadata is not None:
                 self._fill_pipeline(session)
             elif session.interested and session.metadata is None and session.metadata_name is not None:
-                if self._active_neighbors() and not session.distrusted:
+                if self._has_active_neighbors() and not session.distrusted:
                     self._request_metadata(session)
 
     # -------------------------------------------------------------- internals

@@ -64,20 +64,31 @@ class FetchStrategy(ABC):
         if count <= 0:
             return []
         excluded = set(exclude)
-        missing = [index for index in own.missing() if index not in excluded]
+        if excluded:
+            missing = [index for index in own.missing() if index not in excluded]
+        else:
+            missing = own.missing()
         if not missing:
             return []
         bitmaps = self.known_bitmaps()
-        offset = self._start(own.size)
+        size = own.size
+        offset = self._start(size)
         if not bitmaps:
             # No knowledge yet: sequential from the start offset.
-            ordered = sorted(missing, key=lambda index: (index - offset) % own.size)
-            return ordered[:count]
-        ordered = sorted(
-            missing,
-            key=lambda index: (-Bitmap.rarity(index, bitmaps), (index - offset) % own.size),
-        )
-        return ordered[:count]
+            if count == 1:
+                # min() picks the first minimum in iteration order, exactly
+                # like a stable sort's head — without sorting everything.
+                return [min(missing, key=lambda index: (index - offset) % size)]
+            return sorted(missing, key=lambda index: (index - offset) % size)[:count]
+        # Rarity for every index in one pass over the bitmaps' set bits,
+        # rather than len(missing) * len(bitmaps) Bitmap.get calls.  The key
+        # is unchanged: rarity = len(bitmaps) - presence.
+        presence = Bitmap.presence_counts(size, bitmaps)
+        total = len(bitmaps)
+        key = lambda index: (presence[index] - total, (index - offset) % size)  # noqa: E731
+        if count == 1:
+            return [min(missing, key=key)]
+        return sorted(missing, key=key)[:count]
 
     def rarity_of(self, index: int) -> int:
         """Current rarity estimate of packet ``index``."""

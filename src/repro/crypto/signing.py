@@ -14,6 +14,7 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.crypto.keys import KeyPair, derive_public_key
 
@@ -42,7 +43,10 @@ class Signature:
         return len(self.value) // 2 + len(self.signer) + len(self.public_key) // 2
 
 
+@lru_cache(maxsize=4096)
 def _signing_key(public_key: str) -> bytes:
+    # Pure derivation; cached because every sign/verify re-derives the same
+    # few producer keys.
     return hashlib.sha256(b"signing:" + public_key.encode("ascii")).digest()
 
 

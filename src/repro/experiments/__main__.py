@@ -6,22 +6,46 @@ Usage (also installed as the ``repro-experiments`` console script)::
     python -m repro.experiments run fig9a --preset tiny --workers 2
     python -m repro.experiments run all --preset small --workers 8 --out sweeps
     python -m repro.experiments run fig10 --axis wifi_range=40,80 --trials 2
+    python -m repro.experiments run fig9a --profile
+    python -m repro.experiments perf-gate
 
 ``run`` flattens every requested experiment into one task grid executed
 over a single persistent process pool; with ``--out`` each finished task is
 persisted (content-hash keyed), so an interrupted sweep resumes from the
-completed tasks on the next invocation.
+completed tasks on the next invocation.  ``--profile`` collects per-trial
+performance counters (see :mod:`repro.profiling`) and prints the aggregated
+per-subsystem breakdown.  ``perf-gate`` re-runs the Fig. 9a benchmark
+workload and fails when simulation throughput regresses below the committed
+``BENCH_*.json`` baseline — the CI perf smoke job.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
+import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.scenario import ExperimentConfig
 from repro.experiments.spec import available_experiments, get_experiment
-from repro.experiments.sweep import SweepRequest, run_suite
+from repro.experiments.sweep import SweepRequest, run_experiment, run_suite
+from repro.profiling import format_profile, merge_profiles
+
+_GATE_BASELINE_NAME = "BENCH_fig-9a-download-time-per-rpf-strategy.json"
+
+
+def _default_gate_baseline() -> pathlib.Path:
+    """Committed fig9a baseline: the repo checkout when running from src/,
+    else ./benchmark_results (installed console script run from a checkout)."""
+    in_repo = pathlib.Path(__file__).resolve().parents[3] / "benchmark_results" / _GATE_BASELINE_NAME
+    if in_repo.is_file():
+        return in_repo
+    return pathlib.Path("benchmark_results") / _GATE_BASELINE_NAME
+
+
+DEFAULT_GATE_BASELINE = _default_gate_baseline()
 
 
 def _parse_axis_value(token: str) -> object:
@@ -82,6 +106,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["topology"] = args.topology
     if args.workers is not None:
         overrides["workers"] = args.workers
+    if args.profile:
+        overrides["profile"] = True
     config = ExperimentConfig.preset(args.preset).with_overrides(**overrides)
     axes = _parse_axis_overrides(args.axis)
 
@@ -130,8 +156,60 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for result in results:
         print()
         print(result.summary())
+        if args.profile:
+            profiles = [
+                trial.profile
+                for point in result.points
+                for trial in point.trial_results
+                if trial.profile
+            ]
+            if profiles:
+                print()
+                print(format_profile(merge_profiles(profiles), title=f"profile: {result.name}"))
     if args.out:
         print(f"\nresults persisted under {args.out}/ (one <experiment>.json per sweep)")
+    return 0
+
+
+def _cmd_perf_gate(args: argparse.Namespace) -> int:
+    """Run the Fig. 9a workload and compare events/sec against a BENCH baseline."""
+    baseline_path = pathlib.Path(args.baseline)
+    if not baseline_path.is_file():
+        raise SystemExit(f"perf-gate: baseline {baseline_path} not found")
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    baseline_rate = baseline.get("events_per_sec")
+    if not baseline_rate:
+        raise SystemExit(f"perf-gate: baseline {baseline_path} has no events_per_sec")
+
+    config = ExperimentConfig.small().with_overrides(
+        trials=args.trials, max_duration=400.0
+    )
+    axes = {"wifi_range": tuple(float(v) for v in args.wifi_range.split(","))}
+    spec = get_experiment(args.experiment)
+    # Warm-up pass (imports, name/classification caches), then the timed run.
+    if args.warmup:
+        run_experiment(spec, config, axes=axes)
+    start = time.perf_counter()
+    result = run_experiment(spec, config, axes=axes)
+    wall = time.perf_counter() - start
+    events = sum(int(point.extras.get("events", 0)) for point in result.points)
+    rate = events / wall if wall > 0 else 0.0
+    ratio = rate / baseline_rate
+    floor = args.min_ratio * baseline_rate
+    print(
+        f"perf-gate: {args.experiment} events={events} wall={wall:.3f}s "
+        f"events/sec={rate:,.1f} baseline={baseline_rate:,.1f} "
+        f"ratio={ratio:.2f} (min {args.min_ratio:.2f})"
+    )
+    if rate < floor:
+        print(
+            f"perf-gate: FAIL — throughput below {args.min_ratio:.0%} of the committed "
+            f"baseline ({rate:,.1f} < {floor:,.1f} events/sec). If this machine is "
+            f"genuinely slower, refresh benchmark_results/BENCH_*.json (see "
+            f"EXPERIMENTS.md, 'Profiling & performance')."
+        )
+        return 1
+    print("perf-gate: OK")
     return 0
 
 
@@ -165,7 +243,27 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--axis", action="append", default=[], metavar="NAME=V1,V2",
                             help="override an axis, e.g. --axis wifi_range=40,80 (repeatable)")
     run_parser.add_argument("--quiet", action="store_true", help="suppress per-task progress lines")
+    run_parser.add_argument("--profile", action="store_true",
+                            help="collect per-trial performance counters and print the breakdown")
     run_parser.set_defaults(func=_cmd_run)
+
+    gate_parser = sub.add_parser(
+        "perf-gate",
+        help="fail if fig9a events/sec regressed vs the committed BENCH baseline",
+    )
+    gate_parser.add_argument("--experiment", default="fig9a",
+                             help="experiment to time (default: fig9a)")
+    gate_parser.add_argument("--baseline", default=str(DEFAULT_GATE_BASELINE), metavar="JSON",
+                             help="BENCH_*.json baseline to compare against")
+    gate_parser.add_argument("--min-ratio", type=float, default=0.75,
+                             help="fail below this fraction of the baseline events/sec (default: 0.75)")
+    gate_parser.add_argument("--trials", type=int, default=1,
+                             help="trials per sweep point for the timed run (default: 1)")
+    gate_parser.add_argument("--wifi-range", default="40,80", metavar="V1,V2",
+                             help="wifi_range axis of the timed run (default: 40,80 — the BENCH axes)")
+    gate_parser.add_argument("--no-warmup", dest="warmup", action="store_false",
+                             help="skip the untimed warm-up pass")
+    gate_parser.set_defaults(func=_cmd_perf_gate)
     return parser
 
 

@@ -62,6 +62,10 @@ class RunResult:
     events: int = 0
     node_loads: Dict[str, Dict[str, float]] = field(default_factory=dict)
     extras: Dict[str, float] = field(default_factory=dict)
+    # Optional performance profile (see repro.profiling).  Excluded from
+    # equality: it carries wall-clock measurements, which vary run to run,
+    # while every other field is deterministic.
+    profile: Dict[str, float] = field(default_factory=dict, compare=False)
 
     @property
     def mean_download_time(self) -> float:
@@ -90,8 +94,13 @@ class RunResult:
 
     # --------------------------------------------------------- serialization
     def to_dict(self) -> Dict[str, object]:
-        """A JSON-safe dict carrying *every* field (lossless round-trip)."""
-        return {
+        """A JSON-safe dict carrying *every* field (lossless round-trip).
+
+        The ``profile`` key is only emitted when a profile was collected, so
+        unprofiled results serialize exactly as they did before profiling
+        existed (byte-stable persisted artifacts and cache entries).
+        """
+        payload = {
             "protocol": self.protocol,
             "seed": self.seed,
             "parameters": dict(self.parameters),
@@ -109,6 +118,9 @@ class RunResult:
             },
             "extras": dict(self.extras),
         }
+        if self.profile:
+            payload["profile"] = dict(self.profile)
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "RunResult":
@@ -130,6 +142,7 @@ class RunResult:
                 for node, loads in data.get("node_loads", {}).items()
             },
             extras=dict(data.get("extras", {})),
+            profile=dict(data.get("profile", {})),
         )
 
 

@@ -12,6 +12,7 @@ whichever mode produced it.
 
 from __future__ import annotations
 
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -20,6 +21,7 @@ from typing import Dict, List, Optional
 from repro.core import DapesConfig
 from repro.experiments.metrics import RunResult, SweepPoint, aggregate_trials
 from repro.experiments.scenario import ExperimentConfig, get_builder
+from repro.profiling import collect_run_profile
 
 
 def run_protocol_trial(
@@ -42,7 +44,10 @@ def run_protocol_trial(
 
     scenario.watch_completion(_on_complete)
     scenario.start()
+    profiling = bool(getattr(config, "profile", False))
+    start_clock = time.perf_counter() if profiling else 0.0
     sim.run(until=config.max_duration)
+    wall_clock_s = time.perf_counter() - start_clock if profiling else 0.0
 
     download_times: Dict[str, float] = {}
     incomplete: List[str] = []
@@ -54,6 +59,9 @@ def run_protocol_trial(
             download_times[node_id] = elapsed
 
     stats = scenario.medium.stats
+    profile = (
+        collect_run_profile(sim, scenario.medium, wall_clock_s) if profiling else {}
+    )
     return RunResult(
         protocol=protocol,
         seed=seed,
@@ -68,6 +76,7 @@ def run_protocol_trial(
         duration=sim.now,
         events=sim.events_processed,
         node_loads=scenario.node_loads(),
+        profile=profile,
     )
 
 

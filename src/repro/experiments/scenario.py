@@ -76,6 +76,12 @@ class ExperimentConfig:
     percentile: float = 90.0
     workers: int = 1
     neighbor_index: str = "grid"
+    delivery: str = "batched"
+    # Collect a performance profile per trial (repro.profiling); the profile
+    # rides along in RunResult.profile and the CLI's --profile output.  Off
+    # by default: profiles hold wall-clock numbers, which are not
+    # deterministic, unlike every simulation result.
+    profile: bool = False
 
     # DAPES protocol configuration.
     dapes: DapesConfig = field(default_factory=DapesConfig)
@@ -174,6 +180,7 @@ class ExperimentConfig:
             wifi_range=self.wifi_range,
             loss_rate=self.loss_rate,
             neighbor_index=self.neighbor_index,
+            delivery=self.delivery,
         )
 
 

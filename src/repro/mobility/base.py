@@ -5,6 +5,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Iterable, List, Tuple
 
 
 @dataclass(frozen=True)
@@ -38,6 +39,26 @@ class MobilityModel(ABC):
     @abstractmethod
     def position(self, node_id: str, time: float) -> Position:
         """Return the position of ``node_id`` at simulated time ``time``."""
+
+    def position_xy(self, node_id: str, time: float) -> Tuple[float, float]:
+        """Raw ``(x, y)`` of ``node_id`` at ``time`` — no :class:`Position`.
+
+        Hot-path variant of :meth:`position`: spatial snapshots only need
+        the coordinate pair, and leg-cached models can produce it without
+        allocating a :class:`Position` per query.  Must return bit-identical
+        floats to :meth:`position`.
+        """
+        p = self.position(node_id, time)
+        return (p.x, p.y)
+
+    def positions_at(self, node_ids: Iterable[str], time: float) -> List[Tuple[float, float]]:
+        """Batched :meth:`position_xy` for many nodes at one timestamp.
+
+        The grid neighbor index rebuilds its snapshot through this, so one
+        rebuild is a single call instead of N :class:`Position` allocations.
+        """
+        position_xy = self.position_xy
+        return [position_xy(node_id, time) for node_id in node_ids]
 
     def speed_bound(self) -> float:
         """An upper bound on any node's speed in m/s (``inf`` if unknown).

@@ -7,7 +7,7 @@ registered with.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Tuple
 
 from repro.mobility.base import MobilityModel, Position
 
@@ -18,12 +18,18 @@ class CompositeMobility(MobilityModel):
     def __init__(self):
         self._owners: Dict[str, MobilityModel] = {}
         self._models: Dict[int, MobilityModel] = {}
+        # Flat list of child models: mobility_version() is polled on every
+        # cached position lookup, so the aggregation below must stay a plain
+        # loop over a list (no dict-view or generator machinery).
+        self._model_list: List[MobilityModel] = []
         self._version = 0
 
     def assign(self, node_id: str, model: MobilityModel) -> None:
         """Declare that ``node_id``'s positions come from ``model``."""
         self._owners[node_id] = model
-        self._models[id(model)] = model
+        if id(model) not in self._models:
+            self._models[id(model)] = model
+            self._model_list.append(model)
         self._version += 1
 
     def position(self, node_id: str, time: float) -> Position:
@@ -33,15 +39,27 @@ class CompositeMobility(MobilityModel):
             raise KeyError(f"node {node_id!r} is not assigned to any mobility model") from None
         return model.position(node_id, time)
 
+    def position_xy(self, node_id: str, time: float) -> Tuple[float, float]:
+        try:
+            model = self._owners[node_id]
+        except KeyError:
+            raise KeyError(f"node {node_id!r} is not assigned to any mobility model") from None
+        return model.position_xy(node_id, time)
+
+    def positions_at(self, node_ids, time: float) -> List[Tuple[float, float]]:
+        position_xy = self.position_xy  # owner dispatch + descriptive KeyError
+        return [position_xy(node_id, time) for node_id in node_ids]
+
     def speed_bound(self) -> float:
         return max(
-            (model.speed_bound() for model in self._models.values()), default=0.0
+            (model.speed_bound() for model in self._model_list), default=0.0
         )
 
     def mobility_version(self) -> int:
-        return self._version + sum(
-            model.mobility_version() for model in self._models.values()
-        )
+        version = self._version
+        for model in self._model_list:
+            version += model.mobility_version()
+        return version
 
     @property
     def node_ids(self) -> list[str]:

@@ -84,6 +84,11 @@ class RandomDirectionMobility(MobilityModel):
         self._node_rngs: Dict[str, random.Random] = {}
         self._segments: Dict[str, List[_Segment]] = {}
         self._initial: Dict[str, Position] = {}
+        # Per-node cache of the segment the last query fell in: repeated
+        # queries (the common case — simulation time crawls through one
+        # epoch) evaluate the cached leg directly instead of re-deriving it
+        # from the segment list.
+        self._current: Dict[str, _Segment] = {}
 
     # ----------------------------------------------------------------- setup
     def add_node(self, node_id: str, initial_position: Position | Tuple[float, float] | None = None) -> None:
@@ -104,6 +109,7 @@ class RandomDirectionMobility(MobilityModel):
         # registration order, never of the position-query pattern.
         self._node_rngs[node_id] = random.Random(self._rng.getrandbits(64))
         self._segments[node_id] = []
+        self._current.pop(node_id, None)
         self._version += 1
 
     @property
@@ -113,16 +119,60 @@ class RandomDirectionMobility(MobilityModel):
 
     # -------------------------------------------------------------- querying
     def position(self, node_id: str, time: float) -> Position:
+        segment = self._current.get(node_id)
+        if segment is not None and segment.start_time <= time <= segment.end_time:
+            return segment.position_at(time)
+        segment = self._locate_segment(node_id, time)
+        if segment is None:
+            return self._initial[node_id]
+        return segment.position_at(time)
+
+    def position_xy(self, node_id: str, time: float) -> Tuple[float, float]:
+        segment = self._current.get(node_id)
+        if segment is None or not (segment.start_time <= time <= segment.end_time):
+            segment = self._locate_segment(node_id, time)
+            if segment is None:
+                initial = self._initial[node_id]
+                return (initial.x, initial.y)
+        # Same arithmetic as _Segment.position_at, without the Position.
+        elapsed = min(max(time, segment.start_time), segment.end_time) - segment.start_time
+        start = segment.start
+        velocity = segment.velocity
+        return (start.x + velocity[0] * elapsed, start.y + velocity[1] * elapsed)
+
+    def current_leg(self, node_id: str, time: float) -> Tuple[float, float, float, float, float, float]:
+        """The piecewise-linear leg covering ``time``: ``(t0, t1, x0, y0, vx, vy)``.
+
+        ``position(node_id, t)`` for ``t0 <= t <= t1`` is exactly
+        ``(x0 + vx * (t - t0), y0 + vy * (t - t0))``.
+        """
+        segment = self._current.get(node_id)
+        if segment is None or not (segment.start_time <= time <= segment.end_time):
+            segment = self._locate_segment(node_id, time)
+        if segment is None:
+            initial = self._initial[node_id]
+            return (time, time, initial.x, initial.y, 0.0, 0.0)
+        return (
+            segment.start_time,
+            segment.end_time,
+            segment.start.x,
+            segment.start.y,
+            segment.velocity[0],
+            segment.velocity[1],
+        )
+
+    def _locate_segment(self, node_id: str, time: float) -> "_Segment | None":
+        """Find (and cache) the segment covering ``time``, extending lazily."""
         if node_id not in self._initial:
             raise KeyError(f"node {node_id!r} is not registered with the mobility model")
-        segments = self._segments[node_id]
         self._extend_until(node_id, time)
         # Binary search would work, but trajectories are extended monotonically
         # and queried near the end; a reverse scan is effectively O(1).
-        for segment in reversed(segments):
+        for segment in reversed(self._segments[node_id]):
             if segment.start_time <= time:
-                return segment.position_at(time)
-        return self._initial[node_id]
+                self._current[node_id] = segment
+                return segment
+        return None
 
     def speed_bound(self) -> float:
         return self.max_speed

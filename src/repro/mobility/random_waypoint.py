@@ -62,6 +62,10 @@ class RandomWaypointMobility(MobilityModel):
         self._node_rngs: Dict[str, random.Random] = {}
         self._legs: Dict[str, List[_Leg]] = {}
         self._initial: Dict[str, Position] = {}
+        # Per-node cache of the leg the last query fell in (valid through
+        # its pause window): the common query pattern revisits one leg many
+        # times, so this skips the extend/reverse-scan on the hot path.
+        self._current: Dict[str, _Leg] = {}
 
     def add_node(self, node_id: str, initial_position: Position | Tuple[float, float] | None = None) -> None:
         """Register a mobile node, optionally at a fixed initial position."""
@@ -76,6 +80,7 @@ class RandomWaypointMobility(MobilityModel):
         # never of the position-query pattern (see MobilityModel contract).
         self._node_rngs[node_id] = random.Random(self._rng.getrandbits(64))
         self._legs[node_id] = []
+        self._current.pop(node_id, None)
         self._version += 1
 
     @property
@@ -83,14 +88,67 @@ class RandomWaypointMobility(MobilityModel):
         return list(self._initial)
 
     def position(self, node_id: str, time: float) -> Position:
+        leg = self._current.get(node_id)
+        if leg is not None and leg.start_time <= time <= leg.pause_until:
+            return leg.position_at(time)
+        leg = self._locate_leg(node_id, time)
+        if leg is None:
+            return self._initial[node_id]
+        return leg.position_at(time)
+
+    def position_xy(self, node_id: str, time: float) -> Tuple[float, float]:
+        leg = self._current.get(node_id)
+        if leg is None or not (leg.start_time <= time <= leg.pause_until):
+            leg = self._locate_leg(node_id, time)
+            if leg is None:
+                initial = self._initial[node_id]
+                return (initial.x, initial.y)
+        # Same arithmetic as _Leg.position_at (bit-identical floats), minus
+        # the Position allocation.
+        if time >= leg.end_time or leg.end_time == leg.start_time:
+            return (leg.end.x, leg.end.y)
+        fraction = (time - leg.start_time) / (leg.end_time - leg.start_time)
+        fraction = min(max(fraction, 0.0), 1.0)
+        start, end = leg.start, leg.end
+        return (
+            start.x + (end.x - start.x) * fraction,
+            start.y + (end.y - start.y) * fraction,
+        )
+
+    def current_leg(self, node_id: str, time: float) -> Tuple[float, float, float, float, float, float]:
+        """The travel leg covering ``time``: ``(t0, t1, x0, y0, vx, vy)``.
+
+        During the pause window (``t >= t1`` up to the next leg) the node
+        sits at the leg's endpoint; callers clamp ``t`` to ``t1``.
+        """
+        leg = self._current.get(node_id)
+        if leg is None or not (leg.start_time <= time <= leg.pause_until):
+            leg = self._locate_leg(node_id, time)
+        if leg is None:
+            initial = self._initial[node_id]
+            return (time, time, initial.x, initial.y, 0.0, 0.0)
+        travel = leg.end_time - leg.start_time
+        if travel <= 0.0:
+            return (leg.start_time, leg.end_time, leg.end.x, leg.end.y, 0.0, 0.0)
+        return (
+            leg.start_time,
+            leg.end_time,
+            leg.start.x,
+            leg.start.y,
+            (leg.end.x - leg.start.x) / travel,
+            (leg.end.y - leg.start.y) / travel,
+        )
+
+    def _locate_leg(self, node_id: str, time: float) -> "_Leg | None":
+        """Find (and cache) the leg covering ``time``, extending lazily."""
         if node_id not in self._initial:
             raise KeyError(f"node {node_id!r} is not registered with the mobility model")
-        legs = self._legs[node_id]
         self._extend_until(node_id, time)
-        for leg in reversed(legs):
+        for leg in reversed(self._legs[node_id]):
             if leg.start_time <= time:
-                return leg.position_at(time)
-        return self._initial[node_id]
+                self._current[node_id] = leg
+                return leg
+        return None
 
     def speed_bound(self) -> float:
         return self.max_speed

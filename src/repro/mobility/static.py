@@ -46,6 +46,10 @@ class StaticPlacement(MobilityModel):
         except KeyError:
             raise KeyError(f"node {node_id!r} has no static position") from None
 
+    def position_xy(self, node_id: str, time: float) -> Tuple[float, float]:
+        position = self.position(node_id, time)
+        return (position.x, position.y)
+
     def speed_bound(self) -> float:
         return 0.0
 

@@ -64,6 +64,9 @@ class Forwarder:
         self.stats = ForwarderStats()
         self._faces: Dict[int, Face] = {}
         self._next_face_id = 1
+        # Bumped whenever the face set changes, so strategies can cache
+        # face-role lists (queried per Interest) without going stale.
+        self.faces_version = 0
         self.strategy = strategy if strategy is not None else MulticastStrategy()
         self.strategy.attach(self)
 
@@ -74,6 +77,7 @@ class Forwarder:
         self._next_face_id += 1
         face.forwarder = self
         self._faces[face.face_id] = face
+        self.faces_version += 1
         return face
 
     def face(self, face_id: int) -> Face:
@@ -117,7 +121,7 @@ class Forwarder:
             return
         if is_new:
             # Schedule cleanup when the Interest lifetime elapses.
-            self.sim.schedule(interest.lifetime, self._check_expiry, entry.name)
+            self.sim.schedule_call(interest.lifetime, self._check_expiry, entry.name)
 
         decision = self.strategy.decide_interest_forwarding(
             interest, incoming_face.face_id, entry, is_new
@@ -133,7 +137,7 @@ class Forwarder:
             outgoing = interest.clone_for_forwarding() if delay or not is_new else interest
             total_delay = delay + self.config.forwarding_delay
             if total_delay > 0:
-                self.sim.schedule(total_delay, self._forward_interest, outgoing, face_id)
+                self.sim.schedule_call(total_delay, self._forward_interest, outgoing, face_id)
             else:
                 self._forward_interest(outgoing, face_id)
 
@@ -158,7 +162,7 @@ class Forwarder:
             self.stats.pit_expirations += 1
             self.strategy.on_interest_expired(entry)
         else:
-            self.sim.schedule(max(entry.expiry - self.sim.now, 0.0), self._check_expiry, name)
+            self.sim.schedule_call(max(entry.expiry - self.sim.now, 0.0), self._check_expiry, name)
 
     # ---------------------------------------------------------- data pipeline
     def process_data(self, data: Data, incoming_face: Face) -> None:
@@ -191,7 +195,7 @@ class Forwarder:
             return
         self.stats.data_forwarded += 1
         if self.config.forwarding_delay > 0:
-            self.sim.schedule(self.config.forwarding_delay, face.send_data, data)
+            self.sim.schedule_call(self.config.forwarding_delay, face.send_data, data)
         else:
             face.send_data(data)
 

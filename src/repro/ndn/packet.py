@@ -20,7 +20,7 @@ def _new_nonce() -> int:
     return next(_nonce_counter)
 
 
-@dataclass
+@dataclass(slots=True)
 class Interest:
     """A request for a named Data packet.
 
@@ -35,9 +35,11 @@ class Interest:
     hop_limit: int = 16
     application_parameters: Any = None
     application_parameters_size: int = 0
+    _wire_size: Optional[int] = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        self.name = Name(self.name)
+        if type(self.name) is not Name:
+            self.name = Name(self.name)
         if self.lifetime <= 0:
             raise ValueError("Interest lifetime must be positive")
         if self.hop_limit < 0:
@@ -47,9 +49,13 @@ class Interest:
 
     @property
     def wire_size(self) -> int:
-        """Approximate encoded size in bytes."""
-        base = self.name.wire_size + 4 + 2 + 1 + 8  # nonce, lifetime, hop limit, TLV overhead
-        return base + max(self.application_parameters_size, 0)
+        """Approximate encoded size in bytes (computed once; packets are
+        treated as immutable after construction)."""
+        size = self._wire_size
+        if size is None:
+            base = self.name.wire_size + 4 + 2 + 1 + 8  # nonce, lifetime, hop limit, TLV overhead
+            size = self._wire_size = base + max(self.application_parameters_size, 0)
+        return size
 
     def clone_for_forwarding(self) -> "Interest":
         """Copy used when an intermediate node forwards the Interest (hop limit decremented)."""
@@ -73,7 +79,7 @@ class Interest:
         return f"Interest({self.name}, nonce={self.nonce})"
 
 
-@dataclass
+@dataclass(slots=True)
 class Data:
     """A named, signed unit of content."""
 
@@ -82,12 +88,15 @@ class Data:
     signature: Optional[Signature] = None
     freshness_period: float = DEFAULT_FRESHNESS_PERIOD
     content_size_override: Optional[int] = None
+    _wire_size: Optional[int] = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        self.name = Name(self.name)
-        if not isinstance(self.content, (bytes, bytearray)):
-            raise TypeError("Data content must be bytes")
-        self.content = bytes(self.content)
+        if type(self.name) is not Name:
+            self.name = Name(self.name)
+        if type(self.content) is not bytes:
+            if not isinstance(self.content, (bytes, bytearray)):
+                raise TypeError("Data content must be bytes")
+            self.content = bytes(self.content)
 
     @property
     def content_size(self) -> int:
@@ -103,9 +112,13 @@ class Data:
 
     @property
     def wire_size(self) -> int:
-        """Approximate encoded size in bytes."""
-        signature_size = self.signature.size_bytes if self.signature else 0
-        return self.name.wire_size + self.content_size + signature_size + 12
+        """Approximate encoded size in bytes (computed once; packets are
+        treated as immutable after construction)."""
+        size = self._wire_size
+        if size is None:
+            signature_size = self.signature.size_bytes if self.signature else 0
+            size = self._wire_size = self.name.wire_size + self.content_size + signature_size + 12
+        return size
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Data({self.name}, {self.content_size}B)"

@@ -14,7 +14,7 @@ from repro.ndn.name import Name
 from repro.ndn.packet import Data, Interest
 
 
-@dataclass
+@dataclass(slots=True)
 class PitEntry:
     """State for one pending Interest name."""
 
@@ -37,6 +37,9 @@ class Pit:
 
     def __init__(self):
         self._entries: Dict[Name, PitEntry] = {}
+        # Entries with can_be_prefix=True need a scan to match Data; exact
+        # entries (the overwhelming majority) resolve with one dict lookup.
+        self._prefix_entries = 0
         self.aggregations = 0
         self.loops_detected = 0
         self.expirations = 0
@@ -71,6 +74,8 @@ class Pit:
             entry.in_faces.add(incoming_face_id)
             entry.nonces.add(interest.nonce)
             self._entries[interest.name] = entry
+            if entry.can_be_prefix:
+                self._prefix_entries += 1
             return entry, True, False
         if interest.nonce in entry.nonces and incoming_face_id not in entry.in_faces:
             self.loops_detected += 1
@@ -88,21 +93,32 @@ class Pit:
     # ------------------------------------------------------------ resolution
     def satisfy(self, data: Data) -> List[PitEntry]:
         """Remove and return every entry satisfied by ``data``."""
+        if not self._prefix_entries:
+            # Exact-match PIT: one dict lookup instead of a full scan.
+            entry = self._entries.pop(data.name, None)
+            return [entry] if entry is not None else []
         satisfied = [entry for entry in self._entries.values() if entry.matches(data)]
         for entry in satisfied:
-            self._entries.pop(entry.name, None)
+            self._drop(entry)
         return satisfied
 
     def remove(self, name) -> Optional[PitEntry]:
-        return self._entries.pop(Name(name), None)
+        entry = self._entries.pop(Name(name), None)
+        if entry is not None and entry.can_be_prefix:
+            self._prefix_entries -= 1
+        return entry
 
     def expire(self, now: float) -> List[PitEntry]:
         """Remove and return entries whose lifetime has elapsed."""
         expired = [entry for entry in self._entries.values() if entry.expiry <= now]
         for entry in expired:
-            self._entries.pop(entry.name, None)
+            self._drop(entry)
             self.expirations += 1
         return expired
+
+    def _drop(self, entry: PitEntry) -> None:
+        if self._entries.pop(entry.name, None) is not None and entry.can_be_prefix:
+            self._prefix_entries -= 1
 
     # ------------------------------------------------------------ accounting
     @property

@@ -3,6 +3,20 @@
 The engine maintains a priority queue of timestamped events.  Each event is a
 callback plus its arguments.  Events scheduled for the same timestamp execute
 in the order they were scheduled (FIFO), which keeps runs deterministic.
+
+Two scheduling paths share one queue:
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` return an
+  :class:`EventHandle` that can be cancelled — the queue holds
+  ``(time, seq, handle)`` tuples.
+* :meth:`Simulator.schedule_call` is the allocation-free fast path for
+  fire-and-forget events (the bulk of a wireless simulation's queue): it
+  pushes a plain ``(time, seq, callback, args)`` tuple, so no handle object,
+  no kwargs dict and no cancellation bookkeeping exist for these events.
+
+Both entry shapes compare at C speed — the unique sequence number decides
+ties before the third element is ever looked at — so the two paths interleave
+in exact FIFO-per-timestamp order.
 """
 
 from __future__ import annotations
@@ -73,10 +87,11 @@ class Simulator:
     """
 
     def __init__(self, seed: int = 0):
-        # The queue holds plain (time, sequence, handle) tuples: tuple
-        # comparison runs at C speed and the unique sequence number means the
-        # handle itself is never compared.
-        self._queue: list[tuple[float, int, EventHandle]] = []
+        # The queue holds plain (time, sequence, handle) tuples — or
+        # (time, sequence, callback, args) for the schedule_call fast path:
+        # tuple comparison runs at C speed and the unique sequence number
+        # means the third element is never compared.
+        self._queue: list[tuple] = []
         self._sequence = itertools.count()
         self._now = 0.0
         self._running = False
@@ -115,6 +130,34 @@ class Simulator:
         self._active_events += 1
         return handle
 
+    def schedule_call(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Allocation-free fast path: schedule a fire-and-forget callback.
+
+        Unlike :meth:`schedule` this returns no handle (the event cannot be
+        cancelled) and accepts no kwargs, so nothing is allocated beyond the
+        queue tuple itself.  Ordering relative to :meth:`schedule` events is
+        identical — both consume the same sequence counter.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, next(self._sequence), callback, args))
+        self._active_events += 1
+
+    def reserve_slot(self) -> int:
+        """Consume and return a sequence number for :meth:`schedule_reserved`.
+
+        Lets an event that processes a batch of logical sub-events reserve
+        its ordering slot *before* running any of them, so a continuation
+        enqueued mid-batch (see the wireless medium's stop/resume handling)
+        still sorts ahead of everything the sub-events scheduled.
+        """
+        return next(self._sequence)
+
+    def schedule_reserved(self, slot: int, callback: Callable[..., Any], *args: Any) -> None:
+        """Enqueue ``callback`` at the current time under a reserved slot."""
+        heapq.heappush(self._queue, (self._now, slot, callback, args))
+        self._active_events += 1
+
     def cancel(self, handle: Optional[EventHandle]) -> None:
         """Cancel a previously scheduled event (safe to pass ``None``)."""
         if handle is not None:
@@ -141,14 +184,23 @@ class Simulator:
                 if until is not None and event_time > until:
                     self._now = until
                     break
-                handle = heappop(queue)[2]
-                if handle.cancelled:
-                    continue
-                self._now = event_time
-                handle.fired = True
-                self._active_events -= 1
-                handle.callback(*handle.args, **handle.kwargs)
-                self.events_processed += 1
+                entry = heappop(queue)
+                if len(entry) == 4:
+                    # schedule_call fast path: no handle, not cancellable.
+                    self._now = event_time
+                    self._active_events -= 1
+                    entry[2](*entry[3])
+                else:
+                    handle = entry[2]
+                    if handle.cancelled:
+                        continue
+                    self._now = event_time
+                    handle.fired = True
+                    self._active_events -= 1
+                    if handle.kwargs:
+                        handle.callback(*handle.args, **handle.kwargs)
+                    else:
+                        handle.callback(*handle.args)
                 processed += 1
                 if max_events is not None and processed >= max_events:
                     break
@@ -156,11 +208,26 @@ class Simulator:
                 if until is not None and until > self._now:
                     self._now = until
         finally:
+            # Flushed once instead of per event; callbacks that adjust
+            # events_processed mid-run (batched delivery) only add to it,
+            # so the deferred flush commutes.
+            self.events_processed += processed
             self._running = False
 
     def stop(self) -> None:
         """Stop the run loop after the currently executing event returns."""
         self._stopped = True
+
+    @property
+    def stopping(self) -> bool:
+        """Whether :meth:`stop` was requested for the current run.
+
+        Batch-processing events (e.g. the wireless medium's batched frame
+        delivery) poll this between logical sub-events so a ``stop()`` issued
+        mid-batch halts exactly where the equivalent per-event schedule would
+        have.
+        """
+        return self._stopped
 
     # ------------------------------------------------------------- utilities
     def rng(self, name: str):

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 NEIGHBOR_INDEX_BACKENDS = ("grid", "brute")
+DELIVERY_MODES = ("batched", "per_receiver")
 
 
 @dataclass
@@ -35,6 +36,11 @@ class ChannelConfig:
         Grid cell edge in metres (``None`` means use ``wifi_range``).
     index_rebuild_interval:
         Validity window of one grid snapshot in simulated seconds.
+    delivery:
+        Frame-delivery scheduling: ``"batched"`` (one completion event per
+        transmission, the default) or ``"per_receiver"`` (one event per
+        receiver, the seed behaviour).  Both produce identical results;
+        ``"per_receiver"`` exists for equivalence testing.
     """
 
     data_rate_bps: float = 11_000_000.0
@@ -44,6 +50,7 @@ class ChannelConfig:
     neighbor_index: str = "grid"
     index_cell_size: Optional[float] = None
     index_rebuild_interval: float = 1.0
+    delivery: str = "batched"
 
     def __post_init__(self) -> None:
         if self.data_rate_bps <= 0:
@@ -62,6 +69,10 @@ class ChannelConfig:
             raise ValueError("index_cell_size must be positive")
         if self.index_rebuild_interval <= 0:
             raise ValueError("index_rebuild_interval must be positive")
+        if self.delivery not in DELIVERY_MODES:
+            raise ValueError(
+                f"delivery must be one of {DELIVERY_MODES}, got {self.delivery!r}"
+            )
 
     def airtime(self, size_bytes: int) -> float:
         """Airtime in seconds for a frame of ``size_bytes``."""

@@ -3,13 +3,11 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 _frame_ids = itertools.count(1)
 
 
-@dataclass
 class Frame:
     """A link-layer frame.
 
@@ -23,21 +21,38 @@ class Frame:
 
     ``kind`` and ``protocol`` are free-form labels used only for accounting
     (the paper's per-protocol overhead breakdown).
+
+    A hand-written ``__slots__`` class rather than a dataclass: one Frame is
+    allocated per transmission on the hottest path of the simulator.
     """
 
-    sender: str
-    payload: Any
-    size_bytes: int
-    kind: str
-    protocol: str = ""
-    destination: Optional[str] = None
-    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    __slots__ = ("sender", "payload", "size_bytes", "kind", "protocol", "destination", "frame_id")
 
-    def __post_init__(self) -> None:
-        if self.size_bytes <= 0:
+    def __init__(
+        self,
+        sender: str,
+        payload: Any,
+        size_bytes: int,
+        kind: str,
+        protocol: str = "",
+        destination: Optional[str] = None,
+        frame_id: Optional[int] = None,
+    ):
+        if size_bytes <= 0:
             raise ValueError("size_bytes must be positive")
+        self.sender = sender
+        self.payload = payload
+        self.size_bytes = size_bytes
+        self.kind = kind
+        self.protocol = protocol
+        self.destination = destination
+        self.frame_id = next(_frame_ids) if frame_id is None else frame_id
 
     @property
     def is_broadcast(self) -> bool:
         """Whether the frame is a link-layer broadcast."""
         return self.destination is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        target = "broadcast" if self.destination is None else self.destination
+        return f"Frame(#{self.frame_id} {self.sender}->{target} {self.kind} {self.size_bytes}B)"

@@ -21,12 +21,26 @@ study depend on them:
   random backoff) while it can hear another transmission in progress, up to
   a bounded number of deferrals.  Hidden terminals still collide, as in real
   802.11 ad-hoc networks.
+
+Delivery scheduling has two modes (``ChannelConfig.delivery``):
+
+* ``"batched"`` (default) — one completion event per *transmission* walks
+  the receiver list at ``end_time``.  Per-receiver collision/half-duplex
+  state lives in compact interval records created when the transmission
+  begins, so corruption, CSMA busy-sensing, loss and ARQ semantics — and
+  event ordering — are identical to per-receiver scheduling: the seed
+  scheduler gave one transmission's reception events consecutive sequence
+  numbers, so they always fired back-to-back with nothing interleaved, which
+  is exactly what the batch loop reproduces.  ``Simulator.events_processed``
+  still advances by one per reception so throughput accounting stays
+  comparable across modes.
+* ``"per_receiver"`` — the seed behaviour (one event per receiver), kept as
+  the reference for the equivalence tests.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.mobility.base import MobilityModel
 from repro.simulation import Simulator
@@ -41,23 +55,32 @@ UNICAST_RETRY_LIMIT = 3      # 802.11 link-layer ARQ retries for unicast frames
 UNICAST_RETRY_BACKOFF = 0.002
 
 
-@dataclass
 class _Reception:
-    """An in-flight reception at a particular receiver."""
+    """An in-flight reception interval at a particular receiver.
 
-    frame: Frame
-    start_time: float
-    end_time: float
-    corrupted: bool = False
+    A compact mutable record (no dataclass machinery, ``__slots__`` only):
+    one exists per (receiver, in-flight frame) and they are created and
+    destroyed on the hottest path of the simulator.
+    """
+
+    __slots__ = ("frame", "start_time", "end_time", "corrupted")
+
+    def __init__(self, frame: Frame, start_time: float, end_time: float):
+        self.frame = frame
+        self.start_time = start_time
+        self.end_time = end_time
+        self.corrupted = False
 
 
-@dataclass
 class _RetryState:
     """Link-layer ARQ state for one in-flight unicast frame."""
 
-    sender: str
-    destination: str
-    retries: int = 0
+    __slots__ = ("sender", "destination", "retries")
+
+    def __init__(self, sender: str, destination: str):
+        self.sender = sender
+        self.destination = destination
+        self.retries = 0
 
 
 class WirelessMedium:
@@ -80,6 +103,16 @@ class WirelessMedium:
         self._loss_rng = sim.rng("wireless.loss")
         self._backoff_rng = sim.rng("wireless.csma")
         self._unicast_retries: Dict[int, _RetryState] = {}
+        # Per-node index of live ARQ frame ids (as sender or destination) so
+        # detach drops exactly that node's entries instead of rebuilding the
+        # whole retry dict.
+        self._retry_index: Dict[str, Set[int]] = {}
+        self._batched = self.config.delivery == "batched"
+        self._node_ids_cache: Optional[Tuple[str, ...]] = None
+        # Profiling counters (sampled by repro.profiling; cheap increments).
+        self.csma_deferrals = 0
+        self.arq_retries = 0
+        self.completed_transmissions = 0
 
     # ------------------------------------------------------------- topology
     def attach(self, radio: "Radio") -> None:
@@ -89,6 +122,7 @@ class WirelessMedium:
         self._radios[radio.node_id] = radio
         self._receptions[radio.node_id] = []
         self._busy_until[radio.node_id] = 0.0
+        self._node_ids_cache = None
         self._index.attach(radio.node_id)
 
     def detach(self, node_id: str) -> None:
@@ -96,18 +130,28 @@ class WirelessMedium:
         self._radios.pop(node_id, None)
         self._receptions.pop(node_id, None)
         self._busy_until.pop(node_id, None)
+        self._node_ids_cache = None
         self._index.detach(node_id)
         # Drop ARQ state referencing the node: its pending retries can never
         # resolve, and long node-churn runs would otherwise leak entries.
-        self._unicast_retries = {
-            frame_id: state
-            for frame_id, state in self._unicast_retries.items()
-            if state.sender != node_id and state.destination != node_id
-        }
+        # The per-node index makes this O(own retries), not O(backlog).
+        for frame_id in self._retry_index.pop(node_id, ()):
+            state = self._unicast_retries.pop(frame_id, None)
+            if state is None:
+                continue
+            other = state.destination if state.sender == node_id else state.sender
+            peers = self._retry_index.get(other)
+            if peers is not None:
+                peers.discard(frame_id)
+                if not peers:
+                    del self._retry_index[other]
 
     @property
-    def node_ids(self) -> list[str]:
-        return list(self._radios)
+    def node_ids(self) -> Tuple[str, ...]:
+        """Attached node ids (cached tuple, invalidated on attach/detach)."""
+        if self._node_ids_cache is None:
+            self._node_ids_cache = tuple(self._radios)
+        return self._node_ids_cache
 
     def neighbours_of(self, node_id: str, time: Optional[float] = None) -> list[str]:
         """Node ids currently within WiFi range of ``node_id`` (excluding itself)."""
@@ -128,10 +172,10 @@ class WirelessMedium:
         start = max(now, self._busy_until.get(sender_id, 0.0))
         if start > now:
             start += INTER_FRAME_SPACE
-        self._busy_until[sender_id] = start + airtime
-        if start > now:
-            self.sim.schedule(start - now, self._begin_transmission, sender_id, frame, airtime, 0)
+            self._busy_until[sender_id] = start + airtime
+            self.sim.schedule_call(start - now, self._begin_transmission, sender_id, frame, airtime, 0)
         else:
+            self._busy_until[sender_id] = start + airtime
             self._begin_transmission(sender_id, frame, airtime, 0)
         return airtime
 
@@ -151,23 +195,36 @@ class WirelessMedium:
         # Carrier sense: defer while another transmission is audible here.
         busy_until = self._channel_busy_at(sender_id, now)
         if busy_until > now and deferrals < MAX_CSMA_DEFERRALS:
+            self.csma_deferrals += 1
             backoff = self._backoff_rng.uniform(0.0, 0.001)
             restart = busy_until - now + INTER_FRAME_SPACE + backoff
             self._busy_until[sender_id] = max(self._busy_until[sender_id], now + restart + airtime)
-            self.sim.schedule(restart, self._begin_transmission, sender_id, frame, airtime, deferrals + 1)
+            self.sim.schedule_call(restart, self._begin_transmission, sender_id, frame, airtime, deferrals + 1)
             return
         end_time = now + airtime
         self.stats.record_transmission(frame.kind, frame.protocol, frame.size_bytes)
 
         wifi_range = self._range_of(sender_id)
-        for receiver_id in self._index.neighbors(sender_id, wifi_range, now):
-            reception = _Reception(frame=frame, start_time=now, end_time=end_time)
+        receivers = self._index.neighbors(sender_id, wifi_range, now)
+        if not receivers:
+            return
+        batch = []
+        busy_until = self._busy_until
+        for receiver_id in receivers:
+            reception = _Reception(frame, now, end_time)
             # Half-duplex: a node that is itself transmitting cannot receive.
-            if self._busy_until.get(receiver_id, 0.0) > now:
+            if busy_until.get(receiver_id, 0.0) > now:
                 reception.corrupted = True
             self._mark_collisions(receiver_id, reception)
             self._receptions[receiver_id].append(reception)
-            self.sim.schedule(airtime, self._complete_reception, receiver_id, reception)
+            batch.append((receiver_id, reception))
+        # The two modes share the reception records above and differ only in
+        # scheduling: one batch event, or the seed's one event per receiver.
+        if self._batched:
+            self.sim.schedule_call(airtime, self._complete_transmission, batch)
+        else:
+            for receiver_id, reception in batch:
+                self.sim.schedule_call(airtime, self._complete_reception, receiver_id, reception)
 
     def _range_of(self, node_id: str) -> float:
         radio = self._radios[node_id]
@@ -178,10 +235,53 @@ class WirelessMedium:
         # Prune receptions that already completed to keep the list short.
         still_active = [r for r in active if r.end_time > incoming.start_time]
         self._receptions[receiver_id] = still_active
+        if not still_active:
+            return
+        # Each reception counts once toward ``stats.collisions`` — when it
+        # first becomes corrupted by an overlap.  Receptions already
+        # corrupted (an earlier overlap, or the receiver's own half-duplex
+        # transmission) must not be counted again.
+        collisions = 0
         for existing in still_active:
-            existing.corrupted = True
+            if not existing.corrupted:
+                existing.corrupted = True
+                collisions += 1
+        if not incoming.corrupted:
             incoming.corrupted = True
-            self.stats.collisions += 1
+            collisions += 1
+        self.stats.collisions += collisions
+
+    def _complete_transmission(
+        self, batch: List[Tuple[str, _Reception]], resume_slot: Optional[int] = None
+    ) -> None:
+        """Batched delivery: resolve every reception of one transmission.
+
+        The loop visits receivers in the order their per-receiver events
+        would have fired (attach order — consecutive sequence numbers in the
+        seed scheduler), so RNG draws, ARQ scheduling and protocol reactions
+        happen in exactly the per-receiver order.  A ``sim.stop()`` raised by
+        a delivery callback halts the batch between receivers — exactly where
+        the per-receiver schedule would have stopped — and the unprocessed
+        remainder is requeued under a slot reserved *before* any receiver
+        ran, so on resume it still fires ahead of any same-timestamp events
+        the delivery callbacks scheduled (matching the remaining per-receiver
+        events' older sequence numbers in the seed scheduler).
+        """
+        sim = self.sim
+        slot = sim.reserve_slot() if resume_slot is None else resume_slot
+        complete_one = self._complete_reception
+        processed = 0
+        for index, (receiver_id, reception) in enumerate(batch):
+            if processed and sim.stopping:
+                sim.schedule_reserved(slot, self._complete_transmission, batch[index:], slot)
+                break
+            complete_one(receiver_id, reception)
+            processed += 1
+        else:
+            self.completed_transmissions += 1
+        # Keep the logical event count (one per reception) identical to
+        # per-receiver scheduling: the run loop counted this batch as one.
+        sim.events_processed += processed - 1
 
     def _complete_reception(self, receiver_id: str, reception: _Reception) -> None:
         receptions = self._receptions.get(receiver_id)
@@ -203,8 +303,20 @@ class WirelessMedium:
             return
         self.stats.deliveries += 1
         if reception.frame.destination == receiver_id:
-            self._unicast_retries.pop(reception.frame.frame_id, None)
+            self._drop_retry_state(reception.frame.frame_id)
         radio.deliver(reception.frame)
+
+    # ------------------------------------------------------------------- ARQ
+    def _drop_retry_state(self, frame_id: int) -> None:
+        state = self._unicast_retries.pop(frame_id, None)
+        if state is None:
+            return
+        for node_id in (state.sender, state.destination):
+            peers = self._retry_index.get(node_id)
+            if peers is not None:
+                peers.discard(frame_id)
+                if not peers:
+                    del self._retry_index[node_id]
 
     def _maybe_retry_unicast(self, receiver_id: str, frame: Frame) -> None:
         """802.11-style link-layer ARQ: retransmit lost unicast frames a few times.
@@ -217,14 +329,17 @@ class WirelessMedium:
         state = self._unicast_retries.get(frame.frame_id)
         if state is None:
             state = _RetryState(sender=frame.sender, destination=frame.destination)
+            self._unicast_retries[frame.frame_id] = state
+            self._retry_index.setdefault(frame.sender, set()).add(frame.frame_id)
+            self._retry_index.setdefault(frame.destination, set()).add(frame.frame_id)
         if state.retries >= UNICAST_RETRY_LIMIT:
-            self._unicast_retries.pop(frame.frame_id, None)
+            self._drop_retry_state(frame.frame_id)
             return
         retries = state.retries
         state.retries = retries + 1
-        self._unicast_retries[frame.frame_id] = state
+        self.arq_retries += 1
         backoff = UNICAST_RETRY_BACKOFF * (retries + 1) + self._backoff_rng.uniform(0.0, 0.001)
-        self.sim.schedule(backoff, self._retry_transmit, frame.sender, frame)
+        self.sim.schedule_call(backoff, self._retry_transmit, frame.sender, frame)
 
     def _retry_transmit(self, sender_id: str, frame: Frame) -> None:
         """Fire a scheduled ARQ retransmission unless the sender detached meanwhile."""

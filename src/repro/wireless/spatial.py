@@ -41,18 +41,24 @@ class NeighborIndex:
         self.positions = PositionCache(mobility)
         self._attach_order: Dict[str, int] = {}
         self._next_sequence = 0
+        self._node_ids_cache: Optional[Tuple[str, ...]] = None
 
     # ------------------------------------------------------------ membership
     def attach(self, node_id: str) -> None:
         self._attach_order[node_id] = self._next_sequence
         self._next_sequence += 1
+        self._node_ids_cache = None
 
     def detach(self, node_id: str) -> None:
         self._attach_order.pop(node_id, None)
+        self._node_ids_cache = None
 
     @property
-    def node_ids(self) -> List[str]:
-        return list(self._attach_order)
+    def node_ids(self) -> Tuple[str, ...]:
+        """Attached node ids (cached tuple, invalidated on attach/detach)."""
+        if self._node_ids_cache is None:
+            self._node_ids_cache = tuple(self._attach_order)
+        return self._node_ids_cache
 
     # --------------------------------------------------------------- queries
     def neighbors(self, node_id: str, radius: float, time: float) -> List[str]:
@@ -112,8 +118,13 @@ class GridNeighborIndex(NeighborIndex):
             raise ValueError("rebuild_interval must be positive")
         self.cell_size = cell_size
         self.rebuild_interval = rebuild_interval
-        self._cells: Dict[Tuple[int, int], List[str]] = {}
-        self._snapshot_positions: Dict[str, Tuple[float, float]] = {}
+        # Bound methods hoisted out of the per-transmission query path.
+        self._position_xy = mobility.position_xy
+        self._positions_at = mobility.positions_at
+        self._mobility_version = mobility.mobility_version
+        # Buckets hold (attach_seq, node_id, x, y) so a query never touches
+        # a per-candidate dict: coordinates and sort key travel with the id.
+        self._cells: Dict[Tuple[int, int], List[Tuple[int, str, float, float]]] = {}
         self._snapshot_time: Optional[float] = None
         self._snapshot_speed = math.inf
         self._snapshot_version = -1
@@ -130,18 +141,22 @@ class GridNeighborIndex(NeighborIndex):
 
     # --------------------------------------------------------------- queries
     def neighbors(self, node_id: str, radius: float, time: float) -> List[str]:
-        position = self.positions.position
-        origin = position(node_id, time)
+        # Queries arrive at ever-new timestamps (one per transmission), so
+        # the per-timestamp PositionCache almost never hits here; going
+        # straight to the model's leg-cached position_xy (bit-identical
+        # floats, no Position allocation) is cheaper for both the origin
+        # and the uncertain-ring exact checks below.
+        position_xy = self._position_xy
+        origin_x, origin_y = position_xy(node_id, time)
         # The epsilon widens the uncertain ring by a hair so float rounding in
         # the drift bound can never flip a borderline node past the exact check.
         slack = self._ensure_snapshot(time) + 1e-9 * (1.0 + radius)
         reach = radius + slack
         cell = self.cell_size
-        min_cx = math.floor((origin.x - reach) / cell)
-        max_cx = math.floor((origin.x + reach) / cell)
-        min_cy = math.floor((origin.y - reach) / cell)
-        max_cy = math.floor((origin.y + reach) / cell)
-        origin_x, origin_y = origin.x, origin.y
+        min_cx = math.floor((origin_x - reach) / cell)
+        max_cx = math.floor((origin_x + reach) / cell)
+        min_cy = math.floor((origin_y - reach) / cell)
+        max_cy = math.floor((origin_y + reach) / cell)
         # A candidate's true position lies within ``slack`` of its snapshot
         # position, so the snapshot distance classifies most nodes without
         # touching the mobility model: certainly in range below the inner
@@ -151,31 +166,36 @@ class GridNeighborIndex(NeighborIndex):
         outer_sq = reach * reach
         radius_sq = radius * radius
         cells = self._cells
-        snapshot = self._snapshot_positions
         nearby = []
         for cx in range(min_cx, max_cx + 1):
             for cy in range(min_cy, max_cy + 1):
-                for other_id in cells.get((cx, cy), ()):
+                bucket = cells.get((cx, cy))
+                if bucket is None:
+                    continue
+                for candidate in bucket:
+                    other_id = candidate[1]
                     if other_id == node_id:
                         continue
-                    snap_x, snap_y = snapshot[other_id]
-                    dx = snap_x - origin_x
-                    dy = snap_y - origin_y
+                    dx = candidate[2] - origin_x
+                    dy = candidate[3] - origin_y
                     snap_sq = dx * dx + dy * dy
                     if snap_sq <= inner_sq:
-                        nearby.append(other_id)
+                        nearby.append(candidate)
                         continue
                     if snap_sq > outer_sq:
                         continue
-                    other = position(other_id, time)
-                    dx = other.x - origin_x
-                    dy = other.y - origin_y
+                    other_x, other_y = position_xy(other_id, time)
+                    dx = other_x - origin_x
+                    dy = other_y - origin_y
                     if dx * dx + dy * dy <= radius_sq:
-                        nearby.append(other_id)
+                        nearby.append(candidate)
         # Reception events must be scheduled in attach order regardless of
-        # which cell a neighbor fell in, so runs match the reference backend.
-        nearby.sort(key=self._attach_order.__getitem__)
-        return nearby
+        # which cell a neighbor fell in, so runs match the reference backend;
+        # the attach sequence leads each bucket tuple, so sorting the tuples
+        # sorts by attach order without any key function.
+        if len(nearby) > 1:
+            nearby.sort()
+        return [candidate[1] for candidate in nearby]
 
     # -------------------------------------------------------------- internal
     def _ensure_snapshot(self, time: float) -> float:
@@ -186,7 +206,7 @@ class GridNeighborIndex(NeighborIndex):
         membership change (attach/detach reset ``_snapshot_time``).
         """
         snapshot_time = self._snapshot_time
-        if snapshot_time is not None and self.positions.mobility_version() == self._snapshot_version:
+        if snapshot_time is not None and self._mobility_version() == self._snapshot_version:
             age = abs(time - snapshot_time)
             if age == 0.0:
                 return 0.0
@@ -195,22 +215,23 @@ class GridNeighborIndex(NeighborIndex):
                 return speed * age
         # Rebuild: bucket every node's exact position at ``time``.  An
         # unbounded speed (no finite speed_bound) degrades gracefully to a
-        # rebuild at every new timestamp with zero slack.
-        position = self.positions.position
+        # rebuild at every new timestamp with zero slack.  The batched
+        # positions_at query avoids allocating one Position per node.
+        node_ids = self.node_ids
+        coords = self._positions_at(node_ids, time)
         cell = self.cell_size
-        cells: Dict[Tuple[int, int], List[str]] = {}
-        snapshot: Dict[str, Tuple[float, float]] = {}
-        for other_id in self._attach_order:
-            p = position(other_id, time)
-            snapshot[other_id] = (p.x, p.y)
-            key = (math.floor(p.x / cell), math.floor(p.y / cell))
+        floor = math.floor
+        attach_order = self._attach_order
+        cells: Dict[Tuple[int, int], List[Tuple[int, str, float, float]]] = {}
+        for other_id, (x, y) in zip(node_ids, coords):
+            key = (floor(x / cell), floor(y / cell))
+            entry = (attach_order[other_id], other_id, x, y)
             bucket = cells.get(key)
             if bucket is None:
-                cells[key] = [other_id]
+                cells[key] = [entry]
             else:
-                bucket.append(other_id)
+                bucket.append(entry)
         self._cells = cells
-        self._snapshot_positions = snapshot
         self._snapshot_time = time
         # The bound can only change when membership changes, which already
         # invalidates the snapshot — sampling it here keeps queries O(cells).

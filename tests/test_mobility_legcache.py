@@ -1,0 +1,107 @@
+"""Leg-cached mobility evaluation must be bit-identical to the reference path.
+
+``position_xy`` / ``positions_at`` / ``current_leg`` are the hot-path
+variants the spatial index uses; these tests pin them against ``position``
+for arbitrary (including non-monotonic) query orders.
+"""
+
+import random
+
+import pytest
+
+from repro.mobility import (
+    CompositeMobility,
+    Position,
+    RandomDirectionMobility,
+    RandomWaypointMobility,
+    StaticPlacement,
+)
+
+
+def build_models():
+    direction = RandomDirectionMobility(rng=random.Random(3))
+    waypoint = RandomWaypointMobility(pause_time=1.5, rng=random.Random(4))
+    for model in (direction, waypoint):
+        for index in range(6):
+            model.add_node(f"n{index}")
+    return {"direction": direction, "waypoint": waypoint}
+
+
+@pytest.mark.parametrize("kind", ["direction", "waypoint"])
+def test_position_xy_bit_identical_for_random_query_order(kind):
+    model = build_models()[kind]
+    reference = build_models()[kind]
+    rng = random.Random(99)
+    times = [rng.uniform(0.0, 400.0) for _ in range(300)]
+    for time in times:
+        node = f"n{rng.randrange(6)}"
+        x, y = model.position_xy(node, time)
+        expected = reference.position(node, time)
+        assert (x, y) == (expected.x, expected.y)  # bit-identical, not approx
+
+
+@pytest.mark.parametrize("kind", ["direction", "waypoint"])
+def test_positions_at_matches_per_node_position(kind):
+    model = build_models()[kind]
+    reference = build_models()[kind]
+    node_ids = [f"n{index}" for index in range(6)]
+    for time in (0.0, 3.7, 120.5, 50.2, 399.9):  # deliberately out of order
+        coords = model.positions_at(node_ids, time)
+        for node, (x, y) in zip(node_ids, coords):
+            expected = reference.position(node, time)
+            assert (x, y) == (expected.x, expected.y)
+
+
+@pytest.mark.parametrize("kind", ["direction", "waypoint"])
+def test_current_leg_evaluates_to_position(kind):
+    model = build_models()[kind]
+    reference = build_models()[kind]
+    rng = random.Random(5)
+    for _ in range(100):
+        time = rng.uniform(0.0, 200.0)
+        node = f"n{rng.randrange(6)}"
+        t0, t1, x0, y0, vx, vy = model.current_leg(node, time)
+        assert t0 <= time or t1 == t0
+        clamped = min(max(time, t0), t1)
+        expected = reference.position(node, time)
+        assert x0 + vx * (clamped - t0) == pytest.approx(expected.x, abs=1e-9)
+        assert y0 + vy * (clamped - t0) == pytest.approx(expected.y, abs=1e-9)
+
+
+def test_leg_cache_invalidated_when_node_is_reregistered():
+    model = RandomDirectionMobility(rng=random.Random(1))
+    model.add_node("n0", initial_position=(10.0, 10.0))
+    model.position("n0", 50.0)  # populate the leg cache
+    version = model.mobility_version()
+    model.add_node("n0", initial_position=(200.0, 200.0))
+    assert model.mobility_version() > version
+    assert model.position("n0", 0.0) == Position(200.0, 200.0)
+
+
+def test_composite_position_xy_dispatches_and_matches():
+    composite = CompositeMobility()
+    static = StaticPlacement({"s": (5.0, 6.0)})
+    mobile = RandomDirectionMobility(rng=random.Random(2))
+    mobile.add_node("m")
+    composite.assign("s", static)
+    composite.assign("m", mobile)
+    assert composite.position_xy("s", 12.0) == (5.0, 6.0)
+    expected = composite.position("m", 12.0)
+    assert composite.position_xy("m", 12.0) == (expected.x, expected.y)
+    coords = composite.positions_at(["s", "m"], 30.0)
+    assert coords[0] == (5.0, 6.0)
+    expected = composite.position("m", 30.0)
+    assert coords[1] == (expected.x, expected.y)
+    with pytest.raises(KeyError):
+        composite.position_xy("missing", 0.0)
+
+
+def test_composite_registers_shared_model_once():
+    composite = CompositeMobility()
+    mobile = RandomDirectionMobility(rng=random.Random(2))
+    mobile.add_node("a")
+    mobile.add_node("b")
+    composite.assign("a", mobile)
+    composite.assign("b", mobile)
+    assert len(composite._model_list) == 1
+    assert composite.speed_bound() == mobile.speed_bound()

@@ -1,0 +1,100 @@
+"""Engine tests for the allocation-free ``schedule_call`` fast path."""
+
+import pytest
+
+from repro.simulation import Simulator
+from repro.simulation.engine import SimulationError
+
+
+def test_schedule_call_runs_in_fifo_order_with_schedule():
+    sim = Simulator(seed=1)
+    fired = []
+    sim.schedule(1.0, fired.append, "handle-a")
+    sim.schedule_call(1.0, fired.append, "call-b")
+    sim.schedule(1.0, fired.append, "handle-c")
+    sim.schedule_call(0.5, fired.append, "call-first")
+    sim.run()
+    assert fired == ["call-first", "handle-a", "call-b", "handle-c"]
+
+
+def test_schedule_call_rejects_negative_delay():
+    sim = Simulator(seed=1)
+    with pytest.raises(SimulationError):
+        sim.schedule_call(-0.1, print)
+
+
+def test_schedule_call_counts_in_pending_and_processed():
+    sim = Simulator(seed=1)
+    sim.schedule_call(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim.events_processed == 2
+
+
+def test_schedule_call_passes_positional_args():
+    sim = Simulator(seed=1)
+    seen = []
+    sim.schedule_call(0.5, lambda a, b, c: seen.append((a, b, c)), 1, "two", 3.0)
+    sim.run()
+    assert seen == [(1, "two", 3.0)]
+    assert sim.now == 0.5
+
+
+def test_cancelled_handles_skip_but_fast_path_cannot_cancel():
+    sim = Simulator(seed=1)
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "cancelled")
+    sim.schedule_call(1.0, fired.append, "fast")
+    handle.cancel()
+    assert sim.pending_events == 1
+    sim.run()
+    assert fired == ["fast"]
+    assert sim.events_processed == 1  # cancelled events never count
+
+
+def test_max_events_counts_fast_path_events():
+    sim = Simulator(seed=1)
+    fired = []
+    for index in range(5):
+        sim.schedule_call(float(index + 1), fired.append, index)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+    assert sim.events_processed == 3
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_stopping_property_reflects_stop_requests():
+    sim = Simulator(seed=1)
+    observed = []
+
+    def stop_now():
+        observed.append(sim.stopping)
+        sim.stop()
+        observed.append(sim.stopping)
+
+    sim.schedule_call(1.0, stop_now)
+    sim.schedule_call(2.0, observed.append, "late")
+    sim.run()
+    assert observed == [False, True]
+    sim.run()
+    assert observed == [False, True, "late"]
+
+
+def test_schedule_call_interleaves_deterministically_across_reruns():
+    def run_once():
+        sim = Simulator(seed=7)
+        fired = []
+        rng = sim.rng("test")
+        for _ in range(50):
+            delay = rng.uniform(0.0, 1.0)
+            if rng.random() < 0.5:
+                sim.schedule_call(delay, fired.append, round(delay, 9))
+            else:
+                sim.schedule(delay, fired.append, round(delay, 9))
+        sim.run()
+        return fired
+
+    assert run_once() == run_once()

@@ -213,6 +213,76 @@ def test_detached_radio_no_longer_receives():
     assert received == []
 
 
+def test_three_way_overlap_collision_count():
+    # Three hidden senders, all audible at x, overlapping in time: every
+    # reception is corrupted exactly once, so the medium records exactly 3
+    # collisions (the seed's pair counting also gave 3 here; the distinction
+    # shows up with half-duplex overlap, pinned below).
+    sim, medium, radios = build_world(
+        {"a": (0, 0), "b": (110, 0), "c": (55, 95), "x": (55, 30)}, wifi_range=65
+    )
+    received = []
+    radios["x"].on_receive = lambda frame: received.append(frame.sender)
+    for node in ("a", "b", "c"):
+        radios[node].broadcast(f"from-{node}", 1000, kind="test")
+    sim.run()
+    assert received == []
+    assert medium.stats.collisions == 3
+
+
+def test_collisions_not_recounted_for_already_corrupted_receptions():
+    # x is transmitting (half-duplex corrupts every overlapping reception on
+    # arrival), while two hidden senders reach it.  The receptions were
+    # never newly corrupted by the overlap itself, so the collision counter
+    # must stay at zero — the seed double-counted one collision per pair.
+    sim = Simulator(seed=1)
+    mobility = StaticPlacement({"a": (0, 0), "b": (110, 0), "x": (55, 0)})
+    medium = WirelessMedium(sim, mobility, ChannelConfig(wifi_range=60.0, loss_rate=0.0))
+    radio_a = Radio(sim, medium, "a", wifi_range=60.0)
+    radio_b = Radio(sim, medium, "b", wifi_range=60.0)
+    radio_x = Radio(sim, medium, "x", wifi_range=5.0)
+    radio_x.broadcast("own-long-transmission", 8000, kind="test")
+    sim.schedule(0.0001, radio_a.broadcast, "from-a", 1000, "test")
+    sim.schedule(0.0001, radio_b.broadcast, "from-b", 1000, "test")
+    sim.run()
+    assert radio_x.stats.frames_collided == 2  # both lost to half-duplex
+    assert medium.stats.collisions == 0  # ...but no newly-corrupted overlap
+
+
+def test_node_ids_returns_cached_tuple_invalidated_on_membership_change():
+    sim, medium, radios = build_world({"a": (0, 0), "b": (10, 0)})
+    first = medium.node_ids
+    assert first == ("a", "b")
+    assert medium.node_ids is first  # cached until membership changes
+    assert medium._index.node_ids == ("a", "b")
+    assert medium._index.node_ids is medium._index.node_ids
+    Radio(sim, medium, "c")
+    assert medium.node_ids == ("a", "b", "c")
+    medium.detach("b")
+    assert medium.node_ids == ("a", "c")
+    assert medium._index.node_ids == ("a", "c")
+
+
+def test_detach_retry_index_cleans_both_endpoints():
+    sim, medium, radios = build_world(
+        {"a": (0, 0), "b": (10, 0), "c": (500, 0), "d": (510, 0)}, loss_rate=0.95, seed=3
+    )
+    for index in range(10):
+        radios["a"].unicast("b", index, 200, kind="test")
+        radios["c"].unicast("d", index, 200, kind="test")
+    sim.run(until=0.004)
+    assert medium.unicast_retry_backlog > 0
+    assert set(medium._retry_index) <= {"a", "b", "c", "d"}
+    medium.detach("b")  # detaching the *destination* drops the a<->b state too
+    assert "a" not in medium._retry_index and "b" not in medium._retry_index
+    for state in medium._unicast_retries.values():
+        assert state.sender in ("c", "d") and state.destination in ("c", "d")
+    sim.run()
+    # Everything resolved or expired: the per-node index fully drains.
+    assert medium.unicast_retry_backlog == 0
+    assert medium._retry_index == {}
+
+
 def test_per_radio_range_override():
     sim = Simulator(seed=1)
     mobility = StaticPlacement({"a": (0, 0), "b": (80, 0)})
