@@ -24,8 +24,11 @@ Table I        real-world feasibility scenarios               ``table1``  ``tabl
 =============  =============================================  ==========  =============================
 
 Aliases resolve too (``fig9g``/``fig9h`` → ``fig9gh``, ``fig10a``/``fig10b``
-→ ``fig10``, ``tablei`` → ``table1``).  EXPERIMENTS.md documents the spec
-schema, resume/caching semantics and CLI examples.
+→ ``fig10``, ``tablei`` → ``table1``).  Beyond the paper, ``urban``
+(``repro.experiments.urban``) sweeps obstacle density on the Manhattan
+``urban_grid`` topology under unit-disk vs obstacle propagation.
+EXPERIMENTS.md documents the spec schema, resume/caching semantics and CLI
+examples.
 """
 
 from repro.experiments.fig10_comparison import ComparisonExperiment, SPEC_FIG10, improvements
@@ -58,6 +61,7 @@ from repro.experiments.spec import (
 )
 from repro.experiments.sweep import SweepRequest, run_experiment, run_suite
 from repro.experiments.table1_feasibility import SPEC_TABLE1, FeasibilityStudy, run_feasibility_scenario
+from repro.experiments.urban import SPEC_URBAN
 from repro.experiments.topology import (
     Topology,
     available_topologies,

@@ -81,7 +81,7 @@ def _resolve_names(names: Sequence[str]) -> List[str]:
     return resolved
 
 
-def _cmd_list(_args: argparse.Namespace) -> int:
+def _cmd_list(args: argparse.Namespace) -> int:
     rows = []
     for name in available_experiments():
         spec = get_experiment(name)
@@ -92,6 +92,16 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     for name, artefacts, tasks, title in rows:
         print(f"{name:<{name_width}}  {artefacts:<{artefact_width}}  {tasks:>5}  {title}")
     print("\n(tasks = points x trials at the default small() preset and axes)")
+    if getattr(args, "registries", False):
+        from repro.experiments.scenario import available_protocols
+        from repro.experiments.topology import available_topologies
+        from repro.wireless.propagation import available_propagation_models
+
+        print()
+        print("registries (select via ExperimentConfig / ChannelConfig / --topology):")
+        print(f"  topologies  : {', '.join(available_topologies())}")
+        print(f"  protocols   : {', '.join(available_protocols())}")
+        print(f"  propagation : {', '.join(available_propagation_models())}")
     return 0
 
 
@@ -104,6 +114,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["base_seed"] = args.seed
     if args.topology is not None:
         overrides["topology"] = args.topology
+    if args.propagation is not None:
+        overrides["propagation"] = args.propagation
     if args.workers is not None:
         overrides["workers"] = args.workers
     if args.profile:
@@ -123,6 +135,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 config=config,
                 axes={key: values for key, values in axes.items() if key in spec_axes} or None,
             )
+        )
+    shadowed = sorted({
+        key
+        for name in names
+        for variant in get_experiment(name).variants
+        for key in variant.overrides
+        if key in overrides
+    })
+    if shadowed:
+        print(
+            f"note: variant overrides pin {', '.join(shadowed)} for the requested "
+            f"experiment(s); the corresponding command-line value(s) only apply to "
+            f"variants that do not set them"
         )
     unmatched = set(axes) - matched_axes
     if unmatched:
@@ -221,6 +246,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     list_parser = sub.add_parser("list", help="list registered experiments")
+    list_parser.add_argument(
+        "--registries", action="store_true",
+        help="also list the topology/protocol/propagation registries",
+    )
     list_parser.set_defaults(func=_cmd_list)
 
     run_parser = sub.add_parser("run", help="run one or more experiments (or 'all')")
@@ -236,6 +265,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=None, help="base seed")
     run_parser.add_argument("--topology", default=None,
                             help="registered topology name (quadrant, clusters, corridor, ...)")
+    run_parser.add_argument("--propagation", default=None,
+                            help="registered propagation model (unit_disk, log_distance, obstacle)")
     run_parser.add_argument("--out", default=None, metavar="DIR",
                             help="persist per-task results + aggregated JSON under DIR (enables resume)")
     run_parser.add_argument("--no-resume", action="store_true",

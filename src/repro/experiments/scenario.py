@@ -63,6 +63,12 @@ class ExperimentConfig:
     wifi_range: float = 60.0
     loss_rate: float = 0.10
     topology: str = "quadrant"
+    # Radio propagation (see repro.wireless.propagation): the backend, its
+    # parameters, and — for topologies that emit obstacle geometry — the
+    # fraction of candidate obstacles actually built.
+    propagation: str = "unit_disk"
+    propagation_params: Dict[str, object] = field(default_factory=dict)
+    obstacle_density: float = 1.0
 
     # Workload (paper defaults: ten 1 MB files of 1 KB packets).
     num_files: int = 10
@@ -181,6 +187,8 @@ class ExperimentConfig:
             loss_rate=self.loss_rate,
             neighbor_index=self.neighbor_index,
             delivery=self.delivery,
+            propagation=self.propagation,
+            propagation_params=dict(self.propagation_params),
         )
 
 
@@ -207,6 +215,11 @@ class Scenario(ABC):
     config: ExperimentConfig
     protocol: str
     downloader_ids: List[str]
+
+    @property
+    def environment(self):
+        """The obstacle geometry this scenario runs in (``None`` = open field)."""
+        return self.medium.environment
 
     @abstractmethod
     def start(self) -> None:
@@ -325,12 +338,18 @@ class ScenarioBuilder(ABC):
         self.protocol = protocol
 
     def world(self, config: ExperimentConfig, seed: int):
-        """The parts every protocol shares: sim, node names, mobility, medium."""
+        """The parts every protocol shares: sim, node names, mobility, medium.
+
+        The topology's environment (obstacle geometry, if it emits one) is
+        threaded into the medium, where obstacle-aware propagation models
+        ray-test links against it.
+        """
         sim = Simulator(seed=seed)
         topology = get_topology(config.topology)
         names = topology.node_names(config)
         mobility = topology.build_mobility(config, sim, names)
-        medium = WirelessMedium(sim, mobility, config.channel())
+        environment = topology.build_environment(config)
+        medium = WirelessMedium(sim, mobility, config.channel(), environment=environment)
         return sim, names, medium
 
     @abstractmethod

@@ -1,0 +1,58 @@
+"""``urban`` — obstacle-aware city workload (beyond the paper).
+
+Download time on the ``urban_grid`` topology as the city gets denser
+(``obstacle_density`` sweeps the fraction of blocks actually built) under
+two radio physics: the paper's open-field ``unit_disk`` and the
+line-of-sight ``obstacle`` model that treats buildings as opaque.  DAPES
+runs against the Bithoc baseline under both, so the sweep shows (a) how
+much an open-field channel over-estimates delivery in a city and (b)
+whether DAPES's encounter-driven design keeps its edge when walls carve
+the network into street-level partitions.
+
+Registered as an :class:`ExperimentSpec` like every paper artefact::
+
+    python -m repro.experiments run urban --preset small
+    run_experiment("urban", axes={"obstacle_density": (0.0, 1.0)})
+"""
+
+from __future__ import annotations
+
+from repro.experiments.spec import Axis, ExperimentSpec, Variant, register_experiment
+
+DEFAULT_DENSITIES = (0.0, 0.5, 1.0)
+
+_VARIANTS = tuple(
+    Variant(
+        label=f"{protocol_label} / {propagation_label}",
+        protocol=protocol,
+        overrides={"propagation": propagation},
+        parameters={"protocol": protocol, "propagation": propagation},
+    )
+    for protocol, protocol_label in (("dapes", "DAPES"), ("bithoc", "Bithoc"))
+    for propagation, propagation_label in (
+        ("unit_disk", "unit-disk"),
+        ("obstacle", "obstacle"),
+    )
+)
+
+SPEC_URBAN = register_experiment(
+    ExperimentSpec(
+        name="urban",
+        title="Urban grid — download time vs obstacle density and propagation model",
+        description=(
+            "Manhattan-block city: nodes walk the street graph while buildings "
+            "occlude radio links under the obstacle propagation model."
+        ),
+        artefacts=("beyond-paper",),
+        axes=(
+            Axis(
+                name="obstacle_density",
+                values=DEFAULT_DENSITIES,
+                config_key="obstacle_density",
+            ),
+        ),
+        variants=_VARIANTS,
+        overrides={"topology": "urban_grid"},
+        aliases=("urban_grid", "city"),
+    )
+)

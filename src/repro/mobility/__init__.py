@@ -16,6 +16,7 @@ from repro.mobility.random_direction import RandomDirectionMobility
 from repro.mobility.random_waypoint import RandomWaypointMobility
 from repro.mobility.scripted import ScriptedMobility, Waypoint
 from repro.mobility.static import StaticPlacement
+from repro.mobility.street import StreetGridMobility
 
 __all__ = [
     "CompositeMobility",
@@ -26,5 +27,6 @@ __all__ = [
     "RandomWaypointMobility",
     "ScriptedMobility",
     "StaticPlacement",
+    "StreetGridMobility",
     "Waypoint",
 ]

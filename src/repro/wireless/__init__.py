@@ -16,8 +16,18 @@ real-world experiments) and a 10 % loss rate.  This package models:
 """
 
 from repro.wireless.channel import ChannelConfig
+from repro.wireless.environment import Environment, Obstacle, segments_intersect
 from repro.wireless.frames import Frame
 from repro.wireless.medium import WirelessMedium
+from repro.wireless.propagation import (
+    LogDistancePropagation,
+    ObstaclePropagation,
+    PropagationModel,
+    UnitDiskPropagation,
+    available_propagation_models,
+    build_propagation,
+    register_propagation,
+)
 from repro.wireless.radio import Radio
 from repro.wireless.spatial import (
     BruteForceNeighborIndex,
@@ -30,12 +40,22 @@ from repro.wireless.stats import MediumStats, NodeRadioStats
 __all__ = [
     "BruteForceNeighborIndex",
     "ChannelConfig",
+    "Environment",
     "Frame",
     "GridNeighborIndex",
+    "LogDistancePropagation",
     "MediumStats",
     "NeighborIndex",
     "NodeRadioStats",
+    "Obstacle",
+    "ObstaclePropagation",
+    "PropagationModel",
     "Radio",
+    "UnitDiskPropagation",
     "WirelessMedium",
+    "available_propagation_models",
     "build_neighbor_index",
+    "build_propagation",
+    "register_propagation",
+    "segments_intersect",
 ]

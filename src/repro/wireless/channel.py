@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 NEIGHBOR_INDEX_BACKENDS = ("grid", "brute")
 DELIVERY_MODES = ("batched", "per_receiver")
@@ -41,6 +41,14 @@ class ChannelConfig:
         transmission, the default) or ``"per_receiver"`` (one event per
         receiver, the seed behaviour).  Both produce identical results;
         ``"per_receiver"`` exists for equivalence testing.
+    propagation:
+        Radio propagation backend (see :mod:`repro.wireless.propagation`):
+        ``"unit_disk"`` (the seed physics, the default), ``"log_distance"``
+        (distance-dependent loss with deterministic shadowing) or
+        ``"obstacle"`` (line-of-sight occlusion against an environment).
+    propagation_params:
+        Model-specific parameters, validated against the selected backend's
+        declared parameter set (unknown keys or out-of-range values raise).
     """
 
     data_rate_bps: float = 11_000_000.0
@@ -51,6 +59,8 @@ class ChannelConfig:
     index_cell_size: Optional[float] = None
     index_rebuild_interval: float = 1.0
     delivery: str = "batched"
+    propagation: str = "unit_disk"
+    propagation_params: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.data_rate_bps <= 0:
@@ -73,7 +83,37 @@ class ChannelConfig:
             raise ValueError(
                 f"delivery must be one of {DELIVERY_MODES}, got {self.delivery!r}"
             )
+        # Validate the propagation selection eagerly so misconfigured sweeps
+        # fail at config construction, not mid-trial in a pool worker.
+        from repro.wireless.propagation import validate_propagation
+
+        validate_propagation(self.propagation, self.propagation_params)
+        if self.index_cell_size is not None and self.index_cell_size < self.max_range() / 8:
+            # A cell far smaller than the true reach makes every query scan
+            # hundreds of cells; treat it as a configuration error rather
+            # than a silent performance cliff.
+            raise ValueError(
+                f"index_cell_size={self.index_cell_size} is inconsistent with the "
+                f"propagation model's max range {self.max_range():.1f} "
+                f"(cells must be at least max_range/8)"
+            )
 
     def airtime(self, size_bytes: int) -> float:
         """Airtime in seconds for a frame of ``size_bytes``."""
         return self.per_frame_overhead_s + (size_bytes * 8) / self.data_rate_bps
+
+    def max_range(self, nominal_range: Optional[float] = None) -> float:
+        """True maximum link reach under the configured propagation model.
+
+        This — not ``wifi_range`` — is what grid cell sizing and index query
+        radii must derive from: models like ``log_distance`` reach beyond
+        the nominal range.  ``nominal_range`` defaults to ``wifi_range``;
+        pass a per-radio override to bound that radio's reach.
+        """
+        from repro.wireless.propagation import propagation_max_range
+
+        return propagation_max_range(
+            self.propagation,
+            self.propagation_params,
+            self.wifi_range if nominal_range is None else nominal_range,
+        )

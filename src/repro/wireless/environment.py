@@ -1,0 +1,166 @@
+"""Physical environments: obstacle geometry for propagation models.
+
+An :class:`Environment` is the part of a scenario the *radio waves* care
+about — buildings, walls, terrain edges — as opposed to the topology layer,
+which decides where the nodes are.  Topologies emit an environment (see
+:meth:`repro.experiments.topology.Topology.build_environment`) and the
+wireless medium hands it to the configured propagation model; the
+``obstacle`` model ray-tests links against it.
+
+Geometry is deliberately minimal: axis-aligned rectangles (city blocks,
+buildings) and free segments (stand-alone walls).  Everything is immutable
+after construction so environments can be shared between trials and
+snapshotted without defensive copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+Segment = Tuple[float, float, float, float]  # (ax, ay, bx, by)
+
+
+@dataclass(frozen=True)
+class Obstacle:
+    """An axis-aligned rectangular obstacle (a building, a city block)."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x1 <= self.x0 or self.y1 <= self.y0:
+            raise ValueError(
+                f"obstacle must have positive extent, got "
+                f"({self.x0}, {self.y0})-({self.x1}, {self.y1})"
+            )
+
+    @property
+    def walls(self) -> List[Segment]:
+        """The four boundary segments of the rectangle."""
+        x0, y0, x1, y1 = self.x0, self.y0, self.x1, self.y1
+        return [
+            (x0, y0, x1, y0),
+            (x1, y0, x1, y1),
+            (x1, y1, x0, y1),
+            (x0, y1, x0, y0),
+        ]
+
+    def contains(self, x: float, y: float) -> bool:
+        """Whether the point lies strictly inside the rectangle."""
+        return self.x0 < x < self.x1 and self.y0 < y < self.y1
+
+
+def _orient(ax: float, ay: float, bx: float, by: float, cx: float, cy: float) -> float:
+    """Twice the signed area of triangle abc (>0 counter-clockwise)."""
+    return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+
+
+def _on_segment(ax: float, ay: float, bx: float, by: float, px: float, py: float) -> bool:
+    """Whether collinear point p lies within segment ab's bounding box."""
+    return (
+        min(ax, bx) <= px <= max(ax, bx)
+        and min(ay, by) <= py <= max(ay, by)
+    )
+
+
+def segments_intersect(
+    px: float, py: float, qx: float, qy: float,
+    ax: float, ay: float, bx: float, by: float,
+) -> bool:
+    """Whether segment p-q intersects segment a-b (touching counts)."""
+    d1 = _orient(ax, ay, bx, by, px, py)
+    d2 = _orient(ax, ay, bx, by, qx, qy)
+    d3 = _orient(px, py, qx, qy, ax, ay)
+    d4 = _orient(px, py, qx, qy, bx, by)
+    if ((d1 > 0) != (d2 > 0)) and ((d3 > 0) != (d4 > 0)) and d1 != 0 != d2 and d3 != 0 != d4:
+        return True  # proper crossing
+    if d1 == 0 and _on_segment(ax, ay, bx, by, px, py):
+        return True
+    if d2 == 0 and _on_segment(ax, ay, bx, by, qx, qy):
+        return True
+    if d3 == 0 and _on_segment(px, py, qx, qy, ax, ay):
+        return True
+    if d4 == 0 and _on_segment(px, py, qx, qy, bx, by):
+        return True
+    return False
+
+
+class Environment:
+    """Immutable obstacle geometry a propagation model can ray-test against.
+
+    Parameters
+    ----------
+    obstacles:
+        Rectangular obstacles (:class:`Obstacle` instances or ``(x0, y0,
+        x1, y1)`` tuples).
+    walls:
+        Free-standing wall segments as ``(ax, ay, bx, by)`` tuples.
+    """
+
+    __slots__ = ("obstacles", "_walls", "_boxes")
+
+    def __init__(
+        self,
+        obstacles: Iterable[Obstacle | Tuple[float, float, float, float]] = (),
+        walls: Iterable[Segment] = (),
+    ):
+        parsed: List[Obstacle] = []
+        for obstacle in obstacles:
+            if not isinstance(obstacle, Obstacle):
+                obstacle = Obstacle(*obstacle)
+            parsed.append(obstacle)
+        self.obstacles: Tuple[Obstacle, ...] = tuple(parsed)
+        segments: List[Segment] = []
+        for obstacle in self.obstacles:
+            segments.extend(obstacle.walls)
+        segments.extend(tuple(wall) for wall in walls)
+        self._walls: Tuple[Segment, ...] = tuple(segments)
+        # Per-wall bounding boxes let occlusion checks reject most walls with
+        # four comparisons instead of four orientation products.
+        self._boxes: Tuple[Tuple[float, float, float, float], ...] = tuple(
+            (min(ax, bx), min(ay, by), max(ax, bx), max(ay, by))
+            for ax, ay, bx, by in segments
+        )
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def walls(self) -> Tuple[Segment, ...]:
+        """Every wall segment (obstacle boundaries plus free walls)."""
+        return self._walls
+
+    def __bool__(self) -> bool:
+        return bool(self._walls)
+
+    def occludes(self, ax: float, ay: float, bx: float, by: float) -> bool:
+        """Whether the straight ray a-b crosses any wall segment."""
+        ray_min_x = ax if ax < bx else bx
+        ray_max_x = ax if ax > bx else bx
+        ray_min_y = ay if ay < by else by
+        ray_max_y = ay if ay > by else by
+        walls = self._walls
+        for index, (min_x, min_y, max_x, max_y) in enumerate(self._boxes):
+            if (
+                max_x < ray_min_x
+                or min_x > ray_max_x
+                or max_y < ray_min_y
+                or min_y > ray_max_y
+            ):
+                continue
+            wall = walls[index]
+            if segments_intersect(ax, ay, bx, by, *wall):
+                return True
+        return False
+
+    def contains(self, x: float, y: float) -> bool:
+        """Whether the point lies strictly inside any rectangular obstacle."""
+        return any(obstacle.contains(x, y) for obstacle in self.obstacles)
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used by examples and the CLI)."""
+        return f"Environment({len(self.obstacles)} obstacles, {len(self._walls)} walls)"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()

@@ -1,11 +1,18 @@
 """The shared broadcast wireless medium.
 
 A transmission by one radio is delivered, after its airtime, to every other
-radio within ``wifi_range`` of the sender at the moment the transmission
-starts.  Two receptions that overlap in time at the same receiver corrupt
+radio the configured propagation model deems reachable at the moment the
+transmission starts.  Radio physics is pluggable
+(:mod:`repro.wireless.propagation`): the medium queries the spatial index
+out to the model's ``max_range`` and filters the candidates through
+``link_quality``, which may also attach a per-link loss probability (e.g.
+``log_distance`` fading) on top of the uniform Bernoulli loss.  The default
+``unit_disk`` model reproduces the seed semantics byte-for-byte — every
+node within ``wifi_range`` of the sender hears the frame — and, being
+*trivial* (no per-link state), lets the medium skip link evaluation
+entirely.  Two receptions that overlap in time at the same receiver corrupt
 each other (both are dropped at that receiver), which is how the paper's
-collision effects — and the benefit of PEBA — arise.  An independent
-Bernoulli loss is applied on top.
+collision effects — and the benefit of PEBA — arise.
 
 Three MAC-level realities are modelled explicitly because the protocols under
 study depend on them:
@@ -42,10 +49,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+import math
 from repro.mobility.base import MobilityModel
 from repro.simulation import Simulator
 from repro.wireless.channel import ChannelConfig
+from repro.wireless.environment import Environment
 from repro.wireless.frames import Frame
+from repro.wireless.propagation import build_propagation
 from repro.wireless.spatial import build_neighbor_index
 from repro.wireless.stats import MediumStats
 
@@ -63,13 +73,14 @@ class _Reception:
     destroyed on the hottest path of the simulator.
     """
 
-    __slots__ = ("frame", "start_time", "end_time", "corrupted")
+    __slots__ = ("frame", "start_time", "end_time", "corrupted", "link_loss")
 
-    def __init__(self, frame: Frame, start_time: float, end_time: float):
+    def __init__(self, frame: Frame, start_time: float, end_time: float, link_loss: float = 0.0):
         self.frame = frame
         self.start_time = start_time
         self.end_time = end_time
         self.corrupted = False
+        self.link_loss = link_loss
 
 
 class _RetryState:
@@ -91,17 +102,32 @@ class WirelessMedium:
         sim: Simulator,
         mobility: MobilityModel,
         config: Optional[ChannelConfig] = None,
+        environment: Optional[Environment] = None,
     ):
         self.sim = sim
         self.mobility = mobility
         self.config = config if config is not None else ChannelConfig()
+        self.environment = environment
         self.stats = MediumStats()
-        self._index = build_neighbor_index(self.config, mobility)
+        self.propagation = build_propagation(
+            self.config, sim=sim, environment=environment, mobility=mobility
+        )
+        # Trivial models (unit_disk) deliver to exactly the index candidates
+        # with no per-link state, so the hot path can skip link evaluation —
+        # this is the seed fast path, byte-identical by construction.
+        self._trivial = self.propagation.trivial
+        self._position_xy = mobility.position_xy
+        self._index = build_neighbor_index(
+            self.config, mobility, max_range=self.config.max_range()
+        )
         self._radios: Dict[str, "Radio"] = {}
         self._receptions: Dict[str, List[_Reception]] = {}
         self._busy_until: Dict[str, float] = {}
         self._loss_rng = sim.rng("wireless.loss")
         self._backoff_rng = sim.rng("wireless.csma")
+        # Per-link loss draws (propagation models only) use their own named
+        # stream so the seed "wireless.loss" draw sequence stays untouched.
+        self._link_rng = sim.rng("wireless.link")
         self._unicast_retries: Dict[int, _RetryState] = {}
         # Per-node index of live ARQ frame ids (as sender or destination) so
         # detach drops exactly that node's entries instead of rebuilding the
@@ -113,12 +139,23 @@ class WirelessMedium:
         self.csma_deferrals = 0
         self.arq_retries = 0
         self.completed_transmissions = 0
+        self.link_evaluations = 0
 
     # ------------------------------------------------------------- topology
     def attach(self, radio: "Radio") -> None:
         """Attach a radio to the medium (one per node id)."""
         if radio.node_id in self._radios:
             raise ValueError(f"a radio for node {radio.node_id!r} is already attached")
+        wifi_range = radio.wifi_range
+        if wifi_range is not None and not (
+            isinstance(wifi_range, (int, float)) and math.isfinite(wifi_range) and wifi_range > 0
+        ):
+            # A bad per-radio override would silently poison the spatial
+            # index's query radii; fail at attach time instead.
+            raise ValueError(
+                f"radio {radio.node_id!r} has an inconsistent wifi_range override "
+                f"({wifi_range!r}); must be a positive finite number or None"
+            )
         self._radios[radio.node_id] = radio
         self._receptions[radio.node_id] = []
         self._busy_until[radio.node_id] = 0.0
@@ -154,9 +191,54 @@ class WirelessMedium:
         return self._node_ids_cache
 
     def neighbours_of(self, node_id: str, time: Optional[float] = None) -> list[str]:
-        """Node ids currently within WiFi range of ``node_id`` (excluding itself)."""
+        """Node ids currently reachable from ``node_id`` (excluding itself).
+
+        Reachability follows the configured propagation model: under
+        ``unit_disk`` this is the classic "within WiFi range" set; other
+        models filter the candidates through ``link_quality`` (an occluded
+        link, for instance, is not a neighbour even when geometrically in
+        range).
+        """
         when = self.sim.now if time is None else time
-        return self._index.neighbors(node_id, self._range_of(node_id), when)
+        nominal = self._range_of(node_id)
+        if self._trivial:
+            return self._index.neighbors(node_id, nominal, when)
+        candidates = self._index.neighbors(
+            node_id, self.propagation.max_range(nominal), when
+        )
+        return [other for other, _loss in self._evaluate_links(node_id, nominal, candidates, when)]
+
+    def _evaluate_links(
+        self, sender_id: str, nominal: float, candidates: list[str], now: float
+    ) -> list[Tuple[str, float]]:
+        """Filter index candidates through the propagation model.
+
+        Returns ``(receiver_id, link_loss)`` for each reachable candidate,
+        preserving the index's attach order so event scheduling stays
+        deterministic across spatial backends.
+        """
+        position_xy = self._position_xy
+        sender_xy = position_xy(sender_id, now)
+        sender_x, sender_y = sender_xy
+        link_quality = self.propagation.link_quality
+        link_rng = self._link_rng
+        reachable = []
+        for receiver_id in candidates:
+            receiver_xy = position_xy(receiver_id, now)
+            dx = receiver_xy[0] - sender_x
+            dy = receiver_xy[1] - sender_y
+            self.link_evaluations += 1
+            loss = link_quality(
+                sender_xy,
+                receiver_xy,
+                math.sqrt(dx * dx + dy * dy),
+                nominal,
+                link_rng,
+                (sender_id, receiver_id),
+            )
+            if loss is not None:
+                reachable.append((receiver_id, loss))
+        return reachable
 
     # ----------------------------------------------------------- transmission
     def transmit(self, sender_id: str, frame: Frame) -> float:
@@ -204,20 +286,35 @@ class WirelessMedium:
         end_time = now + airtime
         self.stats.record_transmission(frame.kind, frame.protocol, frame.size_bytes)
 
-        wifi_range = self._range_of(sender_id)
-        receivers = self._index.neighbors(sender_id, wifi_range, now)
-        if not receivers:
-            return
+        nominal = self._range_of(sender_id)
         batch = []
         busy_until = self._busy_until
-        for receiver_id in receivers:
-            reception = _Reception(frame, now, end_time)
-            # Half-duplex: a node that is itself transmitting cannot receive.
-            if busy_until.get(receiver_id, 0.0) > now:
-                reception.corrupted = True
-            self._mark_collisions(receiver_id, reception)
-            self._receptions[receiver_id].append(reception)
-            batch.append((receiver_id, reception))
+        if self._trivial:
+            # Seed fast path: every index candidate is a loss-free receiver
+            # (no per-link evaluation, no extra allocations).
+            for receiver_id in self._index.neighbors(sender_id, nominal, now):
+                reception = _Reception(frame, now, end_time)
+                # Half-duplex: a transmitting node cannot receive.
+                if busy_until.get(receiver_id, 0.0) > now:
+                    reception.corrupted = True
+                self._mark_collisions(receiver_id, reception)
+                self._receptions[receiver_id].append(reception)
+                batch.append((receiver_id, reception))
+        else:
+            candidates = self._index.neighbors(
+                sender_id, self.propagation.max_range(nominal), now
+            )
+            for receiver_id, link_loss in self._evaluate_links(
+                sender_id, nominal, candidates, now
+            ):
+                reception = _Reception(frame, now, end_time, link_loss)
+                if busy_until.get(receiver_id, 0.0) > now:
+                    reception.corrupted = True
+                self._mark_collisions(receiver_id, reception)
+                self._receptions[receiver_id].append(reception)
+                batch.append((receiver_id, reception))
+        if not batch:
+            return
         # The two modes share the reception records above and differ only in
         # scheduling: one batch event, or the seed's one event per receiver.
         if self._batched:
@@ -294,6 +391,14 @@ class WirelessMedium:
             return
         if reception.corrupted:
             radio.stats.frames_collided += 1
+            self._maybe_retry_unicast(receiver_id, reception.frame)
+            return
+        # Per-link propagation loss (fading, lossy wall penetration) draws
+        # from its own stream; unit_disk links carry 0.0 and never draw, so
+        # the seed RNG sequences are untouched.
+        if reception.link_loss and self._link_rng.random() < reception.link_loss:
+            self.stats.losses += 1
+            radio.stats.frames_lost += 1
             self._maybe_retry_unicast(receiver_id, reception.frame)
             return
         if self.config.loss_rate and self._loss_rng.random() < self.config.loss_rate:

@@ -241,15 +241,25 @@ class GridNeighborIndex(NeighborIndex):
         return 0.0
 
 
-def build_neighbor_index(config, mobility: MobilityModel) -> NeighborIndex:
-    """Instantiate the backend selected by a :class:`ChannelConfig`."""
+def build_neighbor_index(
+    config, mobility: MobilityModel, max_range: Optional[float] = None
+) -> NeighborIndex:
+    """Instantiate the backend selected by a :class:`ChannelConfig`.
+
+    ``max_range`` is the true reach of the configured propagation model
+    (``ChannelConfig.max_range()``); the default grid cell is sized from it
+    rather than from ``wifi_range``, which under-sizes cells for models
+    that reach beyond the nominal range (e.g. ``log_distance``).
+    """
     backend = getattr(config, "neighbor_index", "grid")
     if backend == "brute":
         return BruteForceNeighborIndex(mobility)
     if backend == "grid":
         cell_size = config.index_cell_size
         if cell_size is None:
-            cell_size = config.wifi_range
+            if max_range is None:
+                max_range = getattr(config, "max_range", lambda: config.wifi_range)()
+            cell_size = max_range
         return GridNeighborIndex(
             mobility,
             cell_size=cell_size,
