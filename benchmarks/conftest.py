@@ -15,7 +15,7 @@ import re
 
 import pytest
 
-from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments import ExperimentConfig, run_experiment, to_text
 
 # WiFi ranges swept by the reduced-scale harness (paper: 20-100 m).
 BENCH_WIFI_RANGES = (40.0, 80.0)
@@ -63,12 +63,13 @@ def report(result, benchmark=None) -> None:
     the wall-clock and simulation-event throughput, giving future PRs a perf
     trajectory to compare against.
     """
+    table = to_text(result)
     print()
-    print(result.summary())
+    print(table)
     results_dir = pathlib.Path(__file__).resolve().parent.parent / "benchmark_results"
     results_dir.mkdir(exist_ok=True)
     slug = re.sub(r"[^a-z0-9]+", "-", result.name.lower()).strip("-")[:60]
-    (results_dir / f"{slug}.txt").write_text(result.summary() + "\n", encoding="utf-8")
+    (results_dir / f"{slug}.txt").write_text(table + "\n", encoding="utf-8")
 
     wall_s = _wall_clock_seconds(benchmark) if benchmark is not None else None
     events = sum(int(point.extras.get("events", 0)) for point in result.points)
@@ -80,5 +81,6 @@ def report(result, benchmark=None) -> None:
         "points": result.rows(),
     }
     (results_dir / f"BENCH_{slug}.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n",
+        encoding="utf-8",
     )

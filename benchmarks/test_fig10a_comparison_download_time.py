@@ -2,6 +2,8 @@
 
 from conftest import report, run_sweep
 
+from repro.experiments import ResultSet
+
 
 def test_fig10a_comparison_download_time(benchmark, bench_config):
     result = run_sweep(benchmark, "fig10", bench_config, axes={"wifi_range": (60.0,)})
@@ -12,7 +14,7 @@ def test_fig10a_comparison_download_time(benchmark, bench_config):
     # Paper claim (Fig. 10a): DAPES achieves 15-27 % / 19-33 % lower download
     # times than Bithoc / Ekta.  At reduced scale we require DAPES not to be
     # slower than either baseline.
-    series = result.series("download_time")
+    series = ResultSet.from_sweep(result).series("download_time")
     dapes = sum(series["DAPES"]) / len(series["DAPES"])
     bithoc = sum(series["Bithoc"]) / len(series["Bithoc"])
     ekta = sum(series["Ekta"]) / len(series["Ekta"])

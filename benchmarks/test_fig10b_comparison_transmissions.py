@@ -2,12 +2,14 @@
 
 from conftest import report, run_sweep
 
+from repro.experiments import ResultSet
+
 
 def test_fig10b_comparison_transmissions(benchmark, bench_config):
     result = run_sweep(benchmark, "fig10", bench_config, axes={"wifi_range": (60.0,)})
     report(result, benchmark)
 
-    series = result.series("transmissions")
+    series = ResultSet.from_sweep(result).series("transmissions")
     dapes = sum(series["DAPES"]) / len(series["DAPES"])
     bithoc = sum(series["Bithoc"]) / len(series["Bithoc"])
     ekta = sum(series["Ekta"]) / len(series["Ekta"])

@@ -20,7 +20,7 @@ def test_fig9d_interleaving_beats_bitmaps_first(benchmark, quick_config):
     At reduced scale we require that interleaving is not slower on average
     than exchanging every bitmap up front.
     """
-    from repro.experiments import run_experiment
+    from repro.experiments import run_experiment, to_text
 
     axes = {"wifi_range": (60.0,)}
     interleaved_spec = SPEC_FIG9D.with_variants(budget_variants((None,)))
@@ -35,8 +35,8 @@ def test_fig9d_interleaving_beats_bitmaps_first(benchmark, quick_config):
     result_interleaved, result_before = benchmark.pedantic(_run_both, rounds=1, iterations=1)
     # Not archived via report(): these single-budget runs would overwrite the
     # full Fig. 9c / Fig. 9d sweeps recorded by the tests above.
-    print(result_interleaved.summary())
-    print(result_before.summary())
+    print(to_text(result_interleaved))
+    print(to_text(result_before))
     mean_interleaved = sum(p.download_time for p in result_interleaved.points) / len(result_interleaved.points)
     mean_before = sum(p.download_time for p in result_before.points) / len(result_before.points)
     assert mean_interleaved <= mean_before * 1.15

@@ -15,14 +15,14 @@ Run this example with::
     python examples/baseline_comparison.py
 """
 
-from repro.experiments import ExperimentConfig, improvements, run_experiment
+from repro.experiments import ExperimentConfig, improvements, run_experiment, to_text
 
 
 def main() -> None:
     config = ExperimentConfig.small().with_overrides(trials=1, max_duration=400.0)
     result = run_experiment("fig10", config, axes={"wifi_range": (60.0,)})
 
-    print(result.summary())
+    print(to_text(result))
     print()
     for metric, description in (
         ("download_time", "download time"),

@@ -33,6 +33,7 @@ from repro.experiments import (
     get_experiment,
     register_experiment,
     run_suite,
+    to_text,
 )
 
 # A brand-new experiment, declared rather than coded: one labelled variant
@@ -72,9 +73,9 @@ def main() -> None:
     topology_result, comparison_result = run_suite(requests, out_dir=out_dir)
 
     print()
-    print(topology_result.summary())
+    print(to_text(topology_result))
     print()
-    print(comparison_result.summary())
+    print(to_text(comparison_result))
 
     cached = len(list(out_dir.glob("*/task-*.json")))
     print(f"\n{cached} per-task results persisted under {out_dir}")

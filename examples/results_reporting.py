@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The first-class results API: store, query, diff and export sweep runs.
+
+Runs a miniature Fig. 9a sweep twice — once as a tagged baseline, once as a
+"candidate" with a different seed — then walks the whole results layer:
+
+* ``ResultStore`` — content-addressed persistence with metadata headers;
+* ``ResultSet`` — typed metric queries (any scalar field, ``extras`` or
+  ``profile`` key, down to per-trial rows);
+* ``report.diff`` — field-by-field three-way verdicts between runs;
+* exporters — Markdown, CSV and gnuplot-ready columns.
+
+Everything here is also available from the command line::
+
+    python -m repro.experiments run fig9a --store results-store --tag baseline
+    python -m repro.experiments report fig9a@baseline --store results-store
+    python -m repro.experiments diff fig9a@baseline fig9a@latest --tolerance 0.2
+    python -m repro.experiments export fig9a --format gnuplot --axis wifi_range
+
+Run this example with::
+
+    python examples/results_reporting.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.experiments import ExperimentConfig, ResultSet, ResultStore, run_experiment
+from repro.experiments.report import diff, to_gnuplot, to_markdown
+
+
+def main() -> None:
+    store = ResultStore(Path(tempfile.mkdtemp(prefix="results-store-")))
+    config = ExperimentConfig.tiny().with_overrides(trials=2, max_duration=240.0)
+    axes = {"wifi_range": (60.0, 80.0)}
+
+    # Two stored runs: a tagged baseline and a candidate with another seed.
+    baseline = run_experiment("fig9a", config, axes=axes, store=store, tag="baseline")
+    candidate = run_experiment(
+        "fig9a", config.with_overrides(base_seed=99), axes=axes, store=store
+    )
+
+    print("stored runs:")
+    for record in store.list():
+        tags = ",".join(record.tags) or "-"
+        print(f"  {record.spec}@{record.key}  tags={tags}  created={record.created}")
+
+    # Typed queries: any metric, any level.
+    results = ResultSet.from_sweep(baseline)
+    print("\ndownload time pivot (label x wifi_range):")
+    for label, cells in results.pivot("wifi_range").items():
+        print(f"  {label}: { {k: round(v, 2) for k, v in cells.items()} }")
+    print("p90 transmissions:", results.p90("transmissions"))
+    print("per-trial event counts:", results.trials().select("events"))
+
+    # Cross-run diffing: the same plan with another seed differs, loudly.
+    report = diff(store.load("fig9a@baseline"), candidate, tolerance=0.25)
+    print(
+        f"\nbaseline vs candidate: verdict={report.verdict} "
+        f"({len(report.regressions)} regressed of {report.fields_compared} fields)"
+    )
+
+    # Exporters: Markdown for docs, gnuplot columns for plots.
+    print("\n" + to_markdown(baseline).splitlines()[0])
+    print(to_gnuplot(baseline, axis="wifi_range").splitlines()[1])
+
+
+if __name__ == "__main__":
+    main()

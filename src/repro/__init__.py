@@ -23,11 +23,11 @@ provides:
 
 Quickstart::
 
-    from repro.experiments import ExperimentConfig, run_experiment
+    from repro.experiments import ExperimentConfig, run_experiment, to_text
 
     config = ExperimentConfig.small()
     result = run_experiment("fig10", config, axes={"wifi_range": (60.0,)})
-    print(result.summary())
+    print(to_text(result))
 
 or, from the command line (also installed as ``repro-experiments``)::
 

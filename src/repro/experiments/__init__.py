@@ -27,8 +27,14 @@ Aliases resolve too (``fig9g``/``fig9h`` → ``fig9gh``, ``fig10a``/``fig10b``
 → ``fig10``, ``tablei`` → ``table1``).  Beyond the paper, ``urban``
 (``repro.experiments.urban``) sweeps obstacle density on the Manhattan
 ``urban_grid`` topology under unit-disk vs obstacle propagation.
-EXPERIMENTS.md documents the spec schema, resume/caching semantics and CLI
-examples.
+
+Results are first-class: :class:`ResultStore` persists runs under
+content-addressed keys with metadata headers (``store.py``),
+:class:`ResultSet` answers typed metric queries down to trial level
+(``query.py``), and ``report.py`` renders Markdown/CSV/gnuplot exports and
+three-way cross-run diffs (the ``report``/``diff``/``export``/``store``
+CLI subcommands).  EXPERIMENTS.md documents the spec schema,
+resume/caching semantics, the store layout and CLI examples.
 """
 
 from repro.experiments.fig10_comparison import ComparisonExperiment, SPEC_FIG10, improvements
@@ -42,7 +48,10 @@ from repro.experiments.fig9_multihop import SPEC_FIG9GH, ForwardingProbabilityEx
 from repro.experiments.fig9_rpf import SPEC_FIG9A, SPEC_FIG9B, PebaExperiment, RpfStrategyExperiment
 from repro.experiments.fig9_scaling import SPEC_FIG9E, SPEC_FIG9F, FileCountExperiment, FileSizeExperiment
 from repro.experiments.metrics import RunResult, SweepPoint, SweepResult, percentile
+from repro.experiments.query import ResultSet
+from repro.experiments.report import DiffReport, diff, to_csv, to_gnuplot, to_markdown, to_text
 from repro.experiments.runner import run_protocol_trial, run_trials
+from repro.experiments.store import ResultStore, StoredRun, TaskCache
 from repro.experiments.scenario import (
     ExperimentConfig,
     Scenario,
@@ -74,6 +83,7 @@ __all__ = [
     "BitmapsBeforeDataExperiment",
     "BitmapsInterleavedExperiment",
     "ComparisonExperiment",
+    "DiffReport",
     "ExperimentConfig",
     "ExperimentSpec",
     "FeasibilityStudy",
@@ -81,18 +91,23 @@ __all__ = [
     "FileSizeExperiment",
     "ForwardingProbabilityExperiment",
     "PebaExperiment",
+    "ResultSet",
+    "ResultStore",
     "RpfStrategyExperiment",
     "RunResult",
     "Scenario",
     "ScenarioBuilder",
+    "StoredRun",
     "SweepPoint",
     "SweepRequest",
     "SweepResult",
+    "TaskCache",
     "Topology",
     "Variant",
     "available_experiments",
     "available_protocols",
     "available_topologies",
+    "diff",
     "get_builder",
     "get_experiment",
     "get_topology",
@@ -106,4 +121,8 @@ __all__ = [
     "run_protocol_trial",
     "run_suite",
     "run_trials",
+    "to_csv",
+    "to_gnuplot",
+    "to_markdown",
+    "to_text",
 ]

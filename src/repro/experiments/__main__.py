@@ -1,4 +1,4 @@
-"""Experiments CLI: list and run the paper's artefacts from the command line.
+"""Experiments CLI: list, run, store, report and diff the paper's artefacts.
 
 Usage (also installed as the ``repro-experiments`` console script)::
 
@@ -6,17 +6,29 @@ Usage (also installed as the ``repro-experiments`` console script)::
     python -m repro.experiments run fig9a --preset tiny --workers 2
     python -m repro.experiments run all --preset small --workers 8 --out sweeps
     python -m repro.experiments run fig10 --axis wifi_range=40,80 --trials 2
-    python -m repro.experiments run fig9a --profile
+    python -m repro.experiments run fig9a --store results-store --tag nightly
+    python -m repro.experiments report fig9a --store results-store
+    python -m repro.experiments report fig9a@nightly --metric extras.events
+    python -m repro.experiments diff fig9a@nightly benchmark_results/BENCH_fig-9a-*.json
+    python -m repro.experiments export fig9a --format gnuplot --axis wifi_range
+    python -m repro.experiments store list
+    python -m repro.experiments store gc --keep 3
     python -m repro.experiments perf-gate
 
 ``run`` flattens every requested experiment into one task grid executed
-over a single persistent process pool; with ``--out`` each finished task is
-persisted (content-hash keyed), so an interrupted sweep resumes from the
-completed tasks on the next invocation.  ``--profile`` collects per-trial
-performance counters (see :mod:`repro.profiling`) and prints the aggregated
-per-subsystem breakdown.  ``perf-gate`` re-runs the Fig. 9a benchmark
-workload and fails when simulation throughput regresses below the committed
-``BENCH_*.json`` baseline — the CI perf smoke job.
+over a single persistent process pool; with ``--out`` or ``--store`` each
+finished task is persisted (content-hash keyed), so an interrupted sweep
+resumes from the completed tasks on the next invocation.  ``--store``
+additionally saves every aggregate into a content-addressed
+:class:`~repro.experiments.store.ResultStore` (optionally ``--tag``-ged).
+``report``/``diff``/``export`` consume stored runs by reference (``fig9a``,
+``fig9a@latest``, ``fig9a@<tag>``, ``fig9a@<key>``) or persisted JSON files
+(full ``SweepResult`` dumps and the row-based ``BENCH_*.json`` artifacts
+alike).  ``--profile`` collects per-trial performance counters (see
+:mod:`repro.profiling`) and prints the aggregated per-subsystem breakdown.
+``perf-gate`` re-runs the Fig. 9a benchmark workload and fails when the
+:func:`repro.experiments.report.throughput_verdict` against the committed
+``BENCH_*.json`` baseline regresses — the CI perf smoke job.
 """
 
 from __future__ import annotations
@@ -28,10 +40,16 @@ import sys
 import time
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments import report as report_mod
+from repro.experiments.metrics import SweepResult
+from repro.experiments.query import ResultSet
 from repro.experiments.scenario import ExperimentConfig
 from repro.experiments.spec import available_experiments, get_experiment
+from repro.experiments.store import ResultStore, StoredRun, content_key
 from repro.experiments.sweep import SweepRequest, run_experiment, run_suite
 from repro.profiling import format_profile, merge_profiles
+
+DEFAULT_STORE = "results-store"
 
 _GATE_BASELINE_NAME = "BENCH_fig-9a-download-time-per-rpf-strategy.json"
 
@@ -106,6 +124,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.tag and not args.store:
+        raise SystemExit("--tag requires --store (tags live on stored runs)")
     names = _resolve_names(args.experiments)
     overrides: Dict[str, object] = {}
     if args.trials is not None:
@@ -164,6 +184,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"running {len(requests)} experiment(s), {total} tasks, "
         f"preset={args.preset}, workers={args.workers or config.workers}"
         + (f", out={args.out}" if args.out else "")
+        + (f", store={args.store}" if args.store else "")
     )
 
     def progress(what: str, done: int, task_total: int) -> None:
@@ -175,12 +196,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         requests,
         workers=args.workers,
         out_dir=args.out,
+        store=args.store,
+        tag=args.tag,
         resume=not args.no_resume,
         progress=progress,
     )
     for result in results:
         print()
-        print(result.summary())
+        print(report_mod.to_text(result))
         if args.profile:
             profiles = [
                 trial.profile
@@ -193,6 +216,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 print(format_profile(merge_profiles(profiles), title=f"profile: {result.name}"))
     if args.out:
         print(f"\nresults persisted under {args.out}/ (one <experiment>.json per sweep)")
+    if args.store:
+        store = ResultStore(args.store)
+        print(f"\nstored under {args.store}/ (content-addressed; see 'store list'):")
+        # Address each run by its own content key: latest() could name a
+        # *different* run when this content was first stored earlier (saves
+        # are idempotent and keep the original timestamp).
+        for name, result in zip(names, results):
+            record = store.resolve(f"{name}@{content_key(result)}")
+            tags = f" tags={','.join(record.tags)}" if record.tags else ""
+            print(f"  {name}@{record.key}{tags}")
     return 0
 
 
@@ -219,22 +252,179 @@ def _cmd_perf_gate(args: argparse.Namespace) -> int:
     wall = time.perf_counter() - start
     events = sum(int(point.extras.get("events", 0)) for point in result.points)
     rate = events / wall if wall > 0 else 0.0
-    ratio = rate / baseline_rate
-    floor = args.min_ratio * baseline_rate
+    # The gate is a direction-aware diff verdict: only a drop below
+    # min_ratio * baseline regresses (report.throughput_verdict).
+    verdict = report_mod.throughput_verdict(rate, baseline_rate, args.min_ratio)
     print(
         f"perf-gate: {args.experiment} events={events} wall={wall:.3f}s "
         f"events/sec={rate:,.1f} baseline={baseline_rate:,.1f} "
-        f"ratio={ratio:.2f} (min {args.min_ratio:.2f})"
+        f"ratio={rate / baseline_rate:.2f} (min {args.min_ratio:.2f}) "
+        f"verdict={verdict.verdict}"
     )
-    if rate < floor:
+    if verdict.verdict == report_mod.REGRESSED:
         print(
             f"perf-gate: FAIL — throughput below {args.min_ratio:.0%} of the committed "
-            f"baseline ({rate:,.1f} < {floor:,.1f} events/sec). If this machine is "
-            f"genuinely slower, refresh benchmark_results/BENCH_*.json (see "
-            f"EXPERIMENTS.md, 'Profiling & performance')."
+            f"baseline ({rate:,.1f} < {args.min_ratio * baseline_rate:,.1f} events/sec). "
+            f"If this machine is genuinely slower, refresh "
+            f"benchmark_results/BENCH_*.json (see EXPERIMENTS.md, 'Profiling & "
+            f"performance')."
         )
         return 1
     print("perf-gate: OK")
+    return 0
+
+
+# ==================================================== results API commands
+def _load_run(token: str, store_root: str):
+    """Resolve a run reference: a JSON file path, else a store reference.
+
+    Returns ``(result, record)``: a :class:`SweepResult` for full
+    dumps/stored runs or the raw rows payload for row-based files (the
+    committed ``BENCH_*.json``), plus the :class:`StoredRun` metadata
+    record when the reference resolved through the store (``None`` for
+    files).
+    """
+    path = pathlib.Path(token)
+    if path.is_file():
+        return report_mod.load_result(path), None
+    if path.suffix == ".json" or "/" in token:
+        raise SystemExit(f"result file {token} not found")
+    store = ResultStore(store_root)
+    try:
+        record = store.resolve(token)
+        return store.load(record), record
+    except KeyError as exc:
+        raise SystemExit(f"{exc.args[0]} (did you run with --store {store_root}?)")
+
+
+def _write_output(text: str, out: Optional[str]) -> None:
+    if out:
+        pathlib.Path(out).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {out}")
+    else:
+        print(text)
+
+
+def _meta_lines(record: StoredRun) -> List[str]:
+    meta = record.meta
+    registries = meta.get("registries") or {}
+    pairs = [
+        ("key", record.key),
+        ("spec", record.spec),
+        ("created", record.created),
+        ("tags", ", ".join(record.tags) or "-"),
+        ("points", meta.get("points")),
+        ("trials (total)", meta.get("trials")),
+        ("config hash", meta.get("config_hash", "-")),
+        ("protocols", ", ".join(meta.get("protocols", [])) or "-"),
+        (
+            "registries",
+            ", ".join(f"{key}={value}" for key, value in registries.items()) or "-",
+        ),
+    ]
+    return [f"- **{key}**: {value}" for key, value in pairs]
+
+
+def _select_rows(result: SweepResult, metrics: Sequence[str], level: str):
+    result_set = ResultSet.from_sweep(result)
+    if level == "trial":
+        result_set = result_set.trials()
+    return report_mod.tabulate(result_set, metrics)
+
+
+def _rows_payload(result: object, fallback_name: str):
+    """``(name, rows)`` for a row-based result: a payload dict or a bare list."""
+    if isinstance(result, list):
+        return fallback_name, result
+    return result.get("name", fallback_name), result.get("points", [])
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    result, record = _load_run(args.run, args.store)
+    lines: List[str] = []
+    if isinstance(result, SweepResult):
+        lines.append(f"# {result.name}")
+        lines.append("")
+        if result.description:
+            lines.extend([result.description, ""])
+        if record is not None:
+            lines.extend(_meta_lines(record))
+            lines.append("")
+        if args.metric:
+            rows = _select_rows(result, args.metric, args.level)
+        else:
+            rows = result.rows()
+    else:  # row-based payload (BENCH_*.json or a bare row list)
+        if args.metric:
+            raise SystemExit(
+                "--metric needs a full SweepResult dump; row-based files "
+                "(BENCH_*.json) only carry their archived columns"
+            )
+        name, rows = _rows_payload(result, args.run)
+        lines.append(f"# {name}")
+        lines.append("")
+    lines.append(report_mod.rows_to_markdown(rows))
+    _write_output("\n".join(lines), args.out)
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    side_a, _ = _load_run(args.a, args.store)
+    side_b, _ = _load_run(args.b, args.store)
+    diff_report = report_mod.diff(
+        side_a, side_b, tolerance=args.tolerance, trial_level=not args.no_trials
+    )
+    text = diff_report.to_markdown() if args.format == "md" else diff_report.summary()
+    _write_output(text, args.out)
+    return 1 if diff_report.verdict == report_mod.REGRESSED else 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    result, _ = _load_run(args.run, args.store)
+    if args.format == "gnuplot":
+        if not isinstance(result, SweepResult):
+            raise SystemExit("gnuplot export needs a full SweepResult dump")
+        metric = args.metric[0] if args.metric else "download_time"
+        text = report_mod.to_gnuplot(result, axis=args.axis, metric=metric)
+    else:
+        if isinstance(result, SweepResult):
+            rows = (
+                _select_rows(result, args.metric, args.level)
+                if args.metric
+                else result.rows()
+            )
+        else:
+            _, rows = _rows_payload(result, args.run)
+        if args.format == "csv":
+            text = report_mod.rows_to_csv(rows).rstrip("\n")
+        else:
+            text = report_mod.rows_to_markdown(rows)
+    _write_output(text, args.out)
+    return 0
+
+
+def _cmd_store_list(args: argparse.Namespace) -> int:
+    records = ResultStore(args.store).list(spec=args.spec, tag=args.tag)
+    if not records:
+        print(f"no stored runs under {args.store}/")
+        return 0
+    spec_width = max(len(record.spec) for record in records)
+    print(f"{'spec':<{spec_width}}  {'key':<16}  {'created':<25}  tags")
+    for record in records:
+        print(
+            f"{record.spec:<{spec_width}}  {record.key:<16}  "
+            f"{record.created:<25}  {', '.join(record.tags) or '-'}"
+        )
+    return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    removed = ResultStore(args.store).gc(
+        keep=args.keep, spec=args.spec, keep_tagged=not args.prune_tagged
+    )
+    for record in removed:
+        print(f"removed {record.spec}@{record.key}")
+    print(f"{len(removed)} run(s) removed (kept {args.keep} most recent per spec)")
     return 0
 
 
@@ -269,6 +459,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="registered propagation model (unit_disk, log_distance, obstacle)")
     run_parser.add_argument("--out", default=None, metavar="DIR",
                             help="persist per-task results + aggregated JSON under DIR (enables resume)")
+    run_parser.add_argument("--store", default=None, metavar="DIR",
+                            help="save aggregates into a content-addressed ResultStore under DIR "
+                                 "(enables resume; see 'report'/'diff'/'export'/'store')")
+    run_parser.add_argument("--tag", default=None,
+                            help="tag saved runs (requires --store), e.g. --tag nightly")
     run_parser.add_argument("--no-resume", action="store_true",
                             help="ignore previously persisted task results")
     run_parser.add_argument("--axis", action="append", default=[], metavar="NAME=V1,V2",
@@ -277,6 +472,76 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--profile", action="store_true",
                             help="collect per-trial performance counters and print the breakdown")
     run_parser.set_defaults(func=_cmd_run)
+
+    run_ref_help = (
+        "stored run reference (SPEC, SPEC@latest, SPEC@TAG, SPEC@KEY or a bare key) "
+        "or a persisted JSON file path"
+    )
+
+    report_parser = sub.add_parser("report", help="render a stored run as a Markdown report")
+    report_parser.add_argument("run", metavar="RUN", help=run_ref_help)
+    report_parser.add_argument("--store", default=DEFAULT_STORE, metavar="DIR",
+                               help=f"ResultStore root (default: {DEFAULT_STORE})")
+    report_parser.add_argument("--metric", action="append", default=[], metavar="NAME",
+                               help="select metrics (any scalar field, extras.<key> or "
+                                    "profile.<key>; repeatable; default: the archived row columns)")
+    report_parser.add_argument("--level", choices=("point", "trial"), default="point",
+                               help="query level for --metric (default: point)")
+    report_parser.add_argument("-o", "--out", default=None, metavar="FILE",
+                               help="write to FILE instead of stdout")
+    report_parser.set_defaults(func=_cmd_report)
+
+    diff_parser = sub.add_parser(
+        "diff", help="three-way field-by-field comparison of two runs (exit 1 on regression)"
+    )
+    diff_parser.add_argument("a", metavar="RUN_A", help=run_ref_help)
+    diff_parser.add_argument("b", metavar="RUN_B", help=run_ref_help)
+    diff_parser.add_argument("--store", default=DEFAULT_STORE, metavar="DIR",
+                             help=f"ResultStore root (default: {DEFAULT_STORE})")
+    diff_parser.add_argument("--tolerance", type=float, default=0.0,
+                             help="relative tolerance below which differences pass (default: 0 = identical)")
+    diff_parser.add_argument("--no-trials", action="store_true",
+                             help="compare aggregates only, not per-trial results")
+    diff_parser.add_argument("--format", choices=("text", "md"), default="text",
+                             help="output format (default: text)")
+    diff_parser.add_argument("-o", "--out", default=None, metavar="FILE",
+                             help="write to FILE instead of stdout")
+    diff_parser.set_defaults(func=_cmd_diff)
+
+    export_parser = sub.add_parser("export", help="export a run as CSV, Markdown or gnuplot columns")
+    export_parser.add_argument("run", metavar="RUN", help=run_ref_help)
+    export_parser.add_argument("--store", default=DEFAULT_STORE, metavar="DIR",
+                               help=f"ResultStore root (default: {DEFAULT_STORE})")
+    export_parser.add_argument("--format", choices=("csv", "md", "gnuplot"), default="csv",
+                               help="output format (default: csv)")
+    export_parser.add_argument("--metric", action="append", default=[], metavar="NAME",
+                               help="metrics to export (repeatable; gnuplot uses the first; "
+                                    "default: archived row columns / download_time)")
+    export_parser.add_argument("--axis", default=None,
+                               help="gnuplot x-axis parameter (default: first varying parameter)")
+    export_parser.add_argument("--level", choices=("point", "trial"), default="point",
+                               help="query level for --metric (default: point)")
+    export_parser.add_argument("-o", "--out", default=None, metavar="FILE",
+                               help="write to FILE instead of stdout")
+    export_parser.set_defaults(func=_cmd_export)
+
+    store_parser = sub.add_parser("store", help="inspect and maintain a ResultStore")
+    store_sub = store_parser.add_subparsers(dest="store_command", required=True)
+    store_list = store_sub.add_parser("list", help="list stored runs (newest first)")
+    store_list.add_argument("--store", default=DEFAULT_STORE, metavar="DIR",
+                            help=f"ResultStore root (default: {DEFAULT_STORE})")
+    store_list.add_argument("--spec", default=None, help="only this experiment")
+    store_list.add_argument("--tag", default=None, help="only runs carrying this tag")
+    store_list.set_defaults(func=_cmd_store_list)
+    store_gc = store_sub.add_parser("gc", help="delete old untagged runs")
+    store_gc.add_argument("--store", default=DEFAULT_STORE, metavar="DIR",
+                          help=f"ResultStore root (default: {DEFAULT_STORE})")
+    store_gc.add_argument("--keep", type=int, default=3,
+                          help="runs to keep per spec (default: 3)")
+    store_gc.add_argument("--spec", default=None, help="only this experiment")
+    store_gc.add_argument("--prune-tagged", action="store_true",
+                          help="also delete tagged runs (default: tagged runs are kept)")
+    store_gc.set_defaults(func=_cmd_store_gc)
 
     gate_parser = sub.add_parser(
         "perf-gate",

@@ -14,12 +14,18 @@ shim.
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.metrics import SweepResult
 from repro.experiments.scenario import ExperimentConfig
-from repro.experiments.spec import Axis, ExperimentSpec, Variant, register_experiment
+from repro.experiments.spec import (
+    Axis,
+    ExperimentSpec,
+    Variant,
+    deprecated_shim,
+    register_experiment,
+    warn_deprecated_shim,
+)
 from repro.experiments.sweep import run_experiment
 
 DEFAULT_WIFI_RANGES = (20.0, 40.0, 60.0, 80.0, 100.0)
@@ -80,27 +86,22 @@ def improvements(result: SweepResult, metric: str = "download_time") -> Dict[str
 
 
 # ------------------------------------------------- deprecated class shim
+@deprecated_shim(SPEC_FIG10)
 class ComparisonExperiment:
-    """Deprecated shim over the registered ``fig10`` spec."""
-
     def __init__(
         self,
         config: Optional[ExperimentConfig] = None,
         wifi_ranges: Sequence[float] = DEFAULT_WIFI_RANGES,
         protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     ):
-        warnings.warn(
-            "ComparisonExperiment is deprecated; use run_experiment('fig10', ...)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        warn_deprecated_shim(self)
         self.config = config if config is not None else ExperimentConfig.small()
         self.wifi_ranges = list(wifi_ranges)
         self.protocols = list(protocols)
 
     def run(self, protocols: Optional[Sequence[str]] = None) -> SweepResult:
         protocols = list(protocols) if protocols is not None else self.protocols
-        spec = SPEC_FIG10.with_variants(protocol_variants(protocols))
+        spec = self.spec.with_variants(protocol_variants(protocols))
         return run_experiment(
             spec, self.config, axes={"wifi_range": tuple(self.wifi_ranges)}
         )

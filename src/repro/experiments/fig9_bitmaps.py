@@ -13,12 +13,18 @@ as thin deprecated shims.
 
 from __future__ import annotations
 
-import warnings
 from typing import Optional, Sequence, Tuple
 
 from repro.experiments.metrics import SweepResult
 from repro.experiments.scenario import ExperimentConfig
-from repro.experiments.spec import Axis, ExperimentSpec, Variant, register_experiment
+from repro.experiments.spec import (
+    Axis,
+    ExperimentSpec,
+    Variant,
+    deprecated_shim,
+    register_experiment,
+    warn_deprecated_shim,
+)
 from repro.experiments.sweep import run_experiment
 
 DEFAULT_WIFI_RANGES = (20.0, 40.0, 60.0, 80.0, 100.0)
@@ -69,9 +75,7 @@ SPEC_FIG9D = register_experiment(
 
 # ------------------------------------------------- deprecated class shims
 class _BitmapBudgetExperiment:
-    """Deprecated shim: shared sweep over (wifi range x bitmap budget)."""
-
-    spec = SPEC_FIG9C
+    """Deprecated shim base: shared sweep over (wifi range x bitmap budget)."""
 
     def __init__(
         self,
@@ -79,12 +83,7 @@ class _BitmapBudgetExperiment:
         wifi_ranges: Sequence[float] = DEFAULT_WIFI_RANGES,
         bitmap_budgets: Sequence[Optional[int]] = DEFAULT_BITMAP_BUDGETS,
     ):
-        warnings.warn(
-            f"{type(self).__name__} is deprecated; "
-            f"use run_experiment({self.spec.name!r}, ...)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        warn_deprecated_shim(self)
         self.config = config if config is not None else ExperimentConfig.small()
         self.wifi_ranges = list(wifi_ranges)
         self.bitmap_budgets = list(bitmap_budgets)
@@ -96,13 +95,11 @@ class _BitmapBudgetExperiment:
         )
 
 
+@deprecated_shim(SPEC_FIG9C)
 class BitmapsBeforeDataExperiment(_BitmapBudgetExperiment):
-    """Fig. 9c: bitmaps first, then data (deprecated; use ``fig9c``)."""
-
-    spec = SPEC_FIG9C
+    pass
 
 
+@deprecated_shim(SPEC_FIG9D)
 class BitmapsInterleavedExperiment(_BitmapBudgetExperiment):
-    """Fig. 9d: bitmap exchanges interleaved with data (deprecated; use ``fig9d``)."""
-
-    spec = SPEC_FIG9D
+    pass

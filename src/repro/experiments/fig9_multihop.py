@@ -10,12 +10,18 @@ deprecated shim.
 
 from __future__ import annotations
 
-import warnings
 from typing import Optional, Sequence, Tuple
 
 from repro.experiments.metrics import SweepResult
 from repro.experiments.scenario import ExperimentConfig
-from repro.experiments.spec import Axis, ExperimentSpec, Variant, register_experiment
+from repro.experiments.spec import (
+    Axis,
+    ExperimentSpec,
+    Variant,
+    deprecated_shim,
+    register_experiment,
+    warn_deprecated_shim,
+)
 from repro.experiments.sweep import run_experiment
 
 DEFAULT_WIFI_RANGES = (20.0, 40.0, 60.0, 80.0, 100.0)
@@ -64,27 +70,21 @@ SPEC_FIG9GH = register_experiment(
 
 
 # ------------------------------------------------- deprecated class shim
+@deprecated_shim(SPEC_FIG9GH)
 class ForwardingProbabilityExperiment:
-    """Deprecated shim over the registered ``fig9gh`` spec."""
-
     def __init__(
         self,
         config: Optional[ExperimentConfig] = None,
         wifi_ranges: Sequence[float] = DEFAULT_WIFI_RANGES,
         probabilities: Sequence[Optional[float]] = DEFAULT_PROBABILITIES,
     ):
-        warnings.warn(
-            "ForwardingProbabilityExperiment is deprecated; "
-            "use run_experiment('fig9gh', ...)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        warn_deprecated_shim(self)
         self.config = config if config is not None else ExperimentConfig.small()
         self.wifi_ranges = list(wifi_ranges)
         self.probabilities = list(probabilities)
 
     def run(self) -> SweepResult:
-        spec = SPEC_FIG9GH.with_variants(probability_variants(self.probabilities))
+        spec = self.spec.with_variants(probability_variants(self.probabilities))
         return run_experiment(
             spec, self.config, axes={"wifi_range": tuple(self.wifi_ranges)}
         )

@@ -15,12 +15,18 @@ The historical classes remain as thin deprecated shims.
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.experiments.metrics import SweepResult
 from repro.experiments.scenario import ExperimentConfig
-from repro.experiments.spec import Axis, ExperimentSpec, Variant, register_experiment
+from repro.experiments.spec import (
+    Axis,
+    ExperimentSpec,
+    Variant,
+    deprecated_shim,
+    register_experiment,
+    warn_deprecated_shim,
+)
 from repro.experiments.sweep import run_experiment
 
 DEFAULT_WIFI_RANGES = (20.0, 40.0, 60.0, 80.0, 100.0)
@@ -78,9 +84,8 @@ SPEC_FIG9B = register_experiment(
 
 
 # ------------------------------------------------- deprecated class shims
+@deprecated_shim(SPEC_FIG9A)
 class RpfStrategyExperiment:
-    """Deprecated shim over the registered ``fig9a`` spec."""
-
     VARIANTS = _RPF_VARIANTS
 
     def __init__(
@@ -88,39 +93,16 @@ class RpfStrategyExperiment:
         config: Optional[ExperimentConfig] = None,
         wifi_ranges: Sequence[float] = DEFAULT_WIFI_RANGES,
     ):
-        warnings.warn(
-            "RpfStrategyExperiment is deprecated; use run_experiment('fig9a', ...)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        warn_deprecated_shim(self)
         self.config = config if config is not None else ExperimentConfig.small()
         self.wifi_ranges = list(wifi_ranges)
 
     def run(self) -> SweepResult:
         return run_experiment(
-            SPEC_FIG9A, self.config, axes={"wifi_range": tuple(self.wifi_ranges)}
+            self.spec, self.config, axes={"wifi_range": tuple(self.wifi_ranges)}
         )
 
 
-class PebaExperiment:
-    """Deprecated shim over the registered ``fig9b`` spec."""
-
+@deprecated_shim(SPEC_FIG9B)
+class PebaExperiment(RpfStrategyExperiment):
     VARIANTS = _PEBA_VARIANTS
-
-    def __init__(
-        self,
-        config: Optional[ExperimentConfig] = None,
-        wifi_ranges: Sequence[float] = DEFAULT_WIFI_RANGES,
-    ):
-        warnings.warn(
-            "PebaExperiment is deprecated; use run_experiment('fig9b', ...)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.config = config if config is not None else ExperimentConfig.small()
-        self.wifi_ranges = list(wifi_ranges)
-
-    def run(self) -> SweepResult:
-        return run_experiment(
-            SPEC_FIG9B, self.config, axes={"wifi_range": tuple(self.wifi_ranges)}
-        )

@@ -14,12 +14,18 @@ remain as thin deprecated shims.
 
 from __future__ import annotations
 
-import warnings
 from typing import Optional, Sequence
 
 from repro.experiments.metrics import SweepResult
 from repro.experiments.scenario import ExperimentConfig
-from repro.experiments.spec import Axis, ExperimentSpec, Variant, register_experiment
+from repro.experiments.spec import (
+    Axis,
+    ExperimentSpec,
+    Variant,
+    deprecated_shim,
+    register_experiment,
+    warn_deprecated_shim,
+)
 from repro.experiments.sweep import run_experiment
 
 DEFAULT_WIFI_RANGES = (20.0, 40.0, 60.0, 80.0, 100.0)
@@ -57,27 +63,22 @@ SPEC_FIG9F = register_experiment(
 
 
 # ------------------------------------------------- deprecated class shims
+@deprecated_shim(SPEC_FIG9E)
 class FileCountExperiment:
-    """Deprecated shim over the registered ``fig9e`` spec."""
-
     def __init__(
         self,
         config: Optional[ExperimentConfig] = None,
         wifi_ranges: Sequence[float] = DEFAULT_WIFI_RANGES,
         count_factors: Sequence[int] = DEFAULT_FILE_COUNT_FACTORS,
     ):
-        warnings.warn(
-            "FileCountExperiment is deprecated; use run_experiment('fig9e', ...)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        warn_deprecated_shim(self)
         self.config = config if config is not None else ExperimentConfig.small()
         self.wifi_ranges = list(wifi_ranges)
         self.count_factors = list(count_factors)
 
     def run(self) -> SweepResult:
         return run_experiment(
-            SPEC_FIG9E,
+            self.spec,
             self.config,
             axes={
                 "wifi_range": tuple(self.wifi_ranges),
@@ -86,27 +87,22 @@ class FileCountExperiment:
         )
 
 
+@deprecated_shim(SPEC_FIG9F)
 class FileSizeExperiment:
-    """Deprecated shim over the registered ``fig9f`` spec."""
-
     def __init__(
         self,
         config: Optional[ExperimentConfig] = None,
         wifi_ranges: Sequence[float] = DEFAULT_WIFI_RANGES,
         size_factors: Sequence[int] = DEFAULT_FILE_SIZE_FACTORS,
     ):
-        warnings.warn(
-            "FileSizeExperiment is deprecated; use run_experiment('fig9f', ...)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        warn_deprecated_shim(self)
         self.config = config if config is not None else ExperimentConfig.small()
         self.wifi_ranges = list(wifi_ranges)
         self.size_factors = list(size_factors)
 
     def run(self) -> SweepResult:
         return run_experiment(
-            SPEC_FIG9F,
+            self.spec,
             self.config,
             axes={
                 "wifi_range": tuple(self.wifi_ranges),

@@ -11,8 +11,28 @@ from __future__ import annotations
 
 import json
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def json_safe(value: object) -> object:
+    """Map non-finite floats (NaN, ±Inf) to ``None`` — strict-JSON safe.
+
+    ``json.dumps`` happily emits ``NaN``/``Infinity`` tokens, which are not
+    JSON and break standard-conforming parsers.  Every ``to_dict`` boundary
+    in this module passes numeric fields through this helper so persisted
+    files stay strictly valid; serialization itself uses
+    ``allow_nan=False`` as a backstop.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def _number(value: object, default: float = float("nan")) -> object:
+    """Inverse of :func:`json_safe` for numeric fields: ``null`` → NaN."""
+    return default if value is None else value
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -84,12 +104,12 @@ class RunResult:
             "protocol": self.protocol,
             "seed": self.seed,
             "parameters": dict(self.parameters),
-            "mean_download_time": self.mean_download_time,
+            "mean_download_time": json_safe(self.mean_download_time),
             "completion_ratio": self.completion_ratio,
             "transmissions": self.transmissions,
             "collisions": self.collisions,
             "losses": self.losses,
-            "duration": self.duration,
+            "duration": json_safe(self.duration),
         }
 
     # --------------------------------------------------------- serialization
@@ -111,15 +131,16 @@ class RunResult:
             "transmissions_by_protocol": dict(self.transmissions_by_protocol),
             "collisions": self.collisions,
             "losses": self.losses,
-            "duration": self.duration,
+            "duration": json_safe(self.duration),
             "events": self.events,
             "node_loads": {
-                node: dict(loads) for node, loads in self.node_loads.items()
+                node: {key: json_safe(value) for key, value in loads.items()}
+                for node, loads in self.node_loads.items()
             },
-            "extras": dict(self.extras),
+            "extras": {key: json_safe(value) for key, value in self.extras.items()},
         }
         if self.profile:
-            payload["profile"] = dict(self.profile)
+            payload["profile"] = {key: json_safe(value) for key, value in self.profile.items()}
         return payload
 
     @classmethod
@@ -135,13 +156,13 @@ class RunResult:
             transmissions_by_protocol=dict(data.get("transmissions_by_protocol", {})),
             collisions=data.get("collisions", 0),
             losses=data.get("losses", 0),
-            duration=data.get("duration", 0.0),
+            duration=_number(data.get("duration", 0.0)),
             events=data.get("events", 0),
             node_loads={
-                node: dict(loads)
+                node: {key: _number(value) for key, value in loads.items()}
                 for node, loads in data.get("node_loads", {}).items()
             },
-            extras=dict(data.get("extras", {})),
+            extras={key: _number(value) for key, value in data.get("extras", {}).items()},
             profile=dict(data.get("profile", {})),
         )
 
@@ -175,12 +196,12 @@ class SweepPoint:
     def as_dict(self) -> Dict[str, object]:
         row = {
             "label": self.label,
-            "download_time_s": round(self.download_time, 2),
-            "transmissions": round(self.transmissions, 1),
-            "completion_ratio": round(self.completion_ratio, 3),
+            "download_time_s": json_safe(round(self.download_time, 2)),
+            "transmissions": json_safe(round(self.transmissions, 1)),
+            "completion_ratio": json_safe(round(self.completion_ratio, 3)),
             "trials": self.trials,
         }
-        row.update({key: round(value, 3) for key, value in self.extras.items()})
+        row.update({key: json_safe(round(value, 3)) for key, value in self.extras.items()})
         row.update(self.parameters)
         return row
 
@@ -190,11 +211,11 @@ class SweepPoint:
         return {
             "label": self.label,
             "parameters": dict(self.parameters),
-            "download_time": self.download_time,
-            "transmissions": self.transmissions,
-            "completion_ratio": self.completion_ratio,
+            "download_time": json_safe(self.download_time),
+            "transmissions": json_safe(self.transmissions),
+            "completion_ratio": json_safe(self.completion_ratio),
             "trials": self.trials,
-            "extras": dict(self.extras),
+            "extras": {key: json_safe(value) for key, value in self.extras.items()},
             "trial_results": [result.to_dict() for result in self.trial_results],
         }
 
@@ -203,11 +224,11 @@ class SweepPoint:
         return cls(
             label=data["label"],
             parameters=dict(data.get("parameters", {})),
-            download_time=data["download_time"],
-            transmissions=data["transmissions"],
-            completion_ratio=data["completion_ratio"],
+            download_time=_number(data["download_time"]),
+            transmissions=_number(data["transmissions"]),
+            completion_ratio=_number(data["completion_ratio"]),
             trials=data["trials"],
-            extras=dict(data.get("extras", {})),
+            extras={key: _number(value) for key, value in data.get("extras", {}).items()},
             trial_results=[
                 RunResult.from_dict(result)
                 for result in data.get("trial_results", [])
@@ -247,12 +268,23 @@ class SweepResult:
         return [point.as_dict() for point in self.points]
 
     def series(self, metric: str = "download_time") -> Dict[str, List[float]]:
-        """Group points by label and return the metric series per label."""
-        grouped: Dict[str, List[float]] = {}
-        for point in self.points:
-            value = point.download_time if metric == "download_time" else point.transmissions
-            grouped.setdefault(point.label, []).append(value)
-        return grouped
+        """Deprecated: group points by label and return the metric series per label.
+
+        Delegates to :meth:`repro.experiments.query.ResultSet.series`, which
+        accepts *any* point-level metric (scalar fields, ``extras`` keys,
+        parameters) instead of the historical two.  Unknown metric names now
+        raise ``KeyError`` instead of silently falling back to
+        ``transmissions``.
+        """
+        warnings.warn(
+            "SweepResult.series() is deprecated; use "
+            "ResultSet.from_sweep(result).series(metric) (repro.experiments.query)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.experiments.query import ResultSet
+
+        return ResultSet.from_sweep(self).series(metric)
 
     def point(self, label: str, **parameters) -> Optional[SweepPoint]:
         """Find a specific point by label and parameter values.
@@ -273,18 +305,21 @@ class SweepResult:
         return None
 
     def summary(self) -> str:
-        """A plain-text table of every point (what the benchmarks print)."""
-        lines = [f"== {self.name} ==", self.description]
-        if not self.points:
-            return "\n".join(lines + ["(no data)"])
-        columns = sorted({key for point in self.points for key in point.as_dict()})
-        header = " | ".join(f"{column:>18}" for column in columns)
-        lines.append(header)
-        lines.append("-" * len(header))
-        for point in self.points:
-            row = point.as_dict()
-            lines.append(" | ".join(f"{str(row.get(column, '')):>18}" for column in columns))
-        return "\n".join(lines)
+        """Deprecated: a plain-text table of every point.
+
+        Delegates to :func:`repro.experiments.report.to_text` — the single
+        table-rendering path shared with the ``report``/``export`` CLI
+        subcommands (byte-identical to the historical output).
+        """
+        warnings.warn(
+            "SweepResult.summary() is deprecated; use "
+            "repro.experiments.report.to_text(result)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.experiments.report import to_text
+
+        return to_text(self)
 
     # --------------------------------------------------------- serialization
     def to_dict(self) -> Dict[str, object]:
@@ -303,8 +338,13 @@ class SweepResult:
         )
 
     def to_json(self, indent: int = 2) -> str:
-        """Serialize the whole sweep — per-trial :class:`RunResult`s included."""
-        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+        """Serialize the whole sweep — per-trial :class:`RunResult`s included.
+
+        Strict JSON: non-finite floats were mapped to ``null`` at the
+        ``to_dict`` boundaries, and ``allow_nan=False`` guarantees no
+        invalid ``NaN``/``Infinity`` token can ever reach a persisted file.
+        """
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True, allow_nan=False)
 
     @classmethod
     def from_json(cls, text: str) -> "SweepResult":

@@ -160,4 +160,9 @@ def run_trials(
             )
             for seed in seeds
         ]
-    return aggregate_trials(label, parameters or {}, results, q=config.percentile)
+    point = aggregate_trials(label, parameters or {}, results, q=config.percentile)
+    # Carry the raw trials so trial-level queries (ResultSet.trials()) and
+    # trial-level diffs work on single-point runs too; excluded from
+    # equality, so aggregates still compare identically without them.
+    point.trial_results = list(results)
+    return point

@@ -17,6 +17,12 @@ over a *single persistent* ``ProcessPoolExecutor``:
   killed sweep re-run with the same plan resumes from the completed tasks;
   any config/axis change produces a different key and a cold start.  The
   aggregated :class:`SweepResult` lands at ``<out_dir>/<experiment>.json``.
+* **Result store** — with ``store`` set (a :class:`ResultStore` or a root
+  directory), the per-task cache lives inside the store and every
+  aggregated :class:`SweepResult` is saved under a content-addressed key
+  with a metadata header (spec, config hash, registries, tags); see
+  :mod:`repro.experiments.store`.  Both persistence paths are thin clients
+  of the same :class:`~repro.experiments.store.TaskCache`.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 from repro.experiments.metrics import RunResult, SweepResult, aggregate_trials
 from repro.experiments.scenario import ExperimentConfig
 from repro.experiments.spec import ExperimentSpec, PointPlan, TrialFn, get_experiment
+from repro.experiments.store import ResultStore, TaskCache
 
 ProgressFn = Callable[[str, int, int], None]
 
@@ -106,39 +113,6 @@ def sweep_cache_key(spec: ExperimentSpec, plans: Sequence[PointPlan]) -> str:
     return hashlib.sha256(payload).hexdigest()[:16]
 
 
-def _task_path(cache_dir: Path, point: int, trial: int) -> Path:
-    return cache_dir / f"task-{point:04d}-{trial:03d}.json"
-
-
-def _load_cached_result(cache_dir: Path, point: int, trial: int, seed: int) -> Optional[RunResult]:
-    path = _task_path(cache_dir, point, trial)
-    if not path.is_file():
-        return None
-    try:
-        payload = json.loads(path.read_text(encoding="utf-8"))
-        if payload.get("seed") != seed:
-            return None
-        return RunResult.from_dict(payload["result"])
-    except (ValueError, KeyError, TypeError, OSError):
-        return None  # corrupt cache entry: re-run the task
-
-
-def _store_result(cache_dir: Optional[Path], task: SweepTask, result: RunResult) -> None:
-    if cache_dir is None:
-        return
-    payload = {
-        "experiment": task.experiment,
-        "point": task.point,
-        "trial": task.trial,
-        "seed": task.seed,
-        "result": result.to_dict(),
-    }
-    path = _task_path(cache_dir, task.point, task.trial)
-    tmp = path.with_suffix(".json.tmp")
-    tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
-    tmp.replace(path)
-
-
 # ================================================================ scheduler
 def _picklable(trial_fn: TrialFn) -> bool:
     try:
@@ -151,32 +125,44 @@ def _picklable(trial_fn: TrialFn) -> bool:
 class _PreparedRequest:
     spec: ExperimentSpec
     plans: List[PointPlan]
-    cache_dir: Optional[Path] = None
+    base: ExperimentConfig
+    cache: Optional[TaskCache] = None
     cache_key: Optional[str] = None
     pool_safe: bool = True
     results: Dict[Tuple[int, int], RunResult] = field(default_factory=dict)
 
 
 def _prepare(
-    requests: Sequence[SweepRequest], out_dir: Optional[Union[str, Path]]
+    requests: Sequence[SweepRequest],
+    out_dir: Optional[Union[str, Path]],
+    store: Optional[ResultStore],
 ) -> List[_PreparedRequest]:
     prepared: List[_PreparedRequest] = []
     for request in requests:
         spec = request.spec
         plans = spec.plan(request.config, request.axes)
-        cache_dir: Optional[Path] = None
+        cache: Optional[TaskCache] = None
         cache_key: Optional[str] = None
-        if out_dir is not None:
+        if out_dir is not None or store is not None:
             cache_key = sweep_cache_key(spec, plans)
-            cache_dir = Path(out_dir) / f"{spec.name}-{cache_key}"
-            cache_dir.mkdir(parents=True, exist_ok=True)
+            # The store's task area and the historical --out layout are both
+            # thin clients of the same TaskCache (identical file format).
+            if store is not None:
+                cache = store.task_cache(spec.name, cache_key)
+            else:
+                cache = TaskCache(Path(out_dir) / f"{spec.name}-{cache_key}").ensure()
         # A task's trial hook must survive a pickle round-trip to run in a
         # pool worker; hooks that don't (lambdas, closures, REPL-defined
         # functions) fall back to in-process serial execution.
         pool_safe = spec.trial_fn is None or _picklable(spec.trial_fn)
         prepared.append(
             _PreparedRequest(
-                spec=spec, plans=plans, cache_dir=cache_dir, cache_key=cache_key, pool_safe=pool_safe
+                spec=spec,
+                plans=plans,
+                base=spec.base_config(request.config),
+                cache=cache,
+                cache_key=cache_key,
+                pool_safe=pool_safe,
             )
         )
     return prepared
@@ -219,6 +205,8 @@ def run_suite(
     *,
     workers: Optional[int] = None,
     out_dir: Optional[Union[str, Path]] = None,
+    store: Optional[Union[ResultStore, str, Path]] = None,
+    tag: Optional[str] = None,
     resume: bool = True,
     progress: Optional[ProgressFn] = None,
 ) -> List[SweepResult]:
@@ -226,8 +214,12 @@ def run_suite(
 
     Returns one :class:`SweepResult` per request, in request order.  The
     aggregates are byte-identical whichever ``workers`` value produced them.
+    With ``store`` set, the per-task cache lives in the store and every
+    aggregate is saved under its content key (optionally tagged).
     """
-    prepared = _prepare(requests, out_dir)
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    prepared = _prepare(requests, out_dir, store)
     tasks = _flatten_tasks(prepared)
     total = len(tasks)
 
@@ -236,8 +228,8 @@ def run_suite(
     for task in tasks:
         item = prepared[task.request]
         cached = None
-        if resume and item.cache_dir is not None:
-            cached = _load_cached_result(item.cache_dir, task.point, task.trial, task.seed)
+        if resume and item.cache is not None:
+            cached = item.cache.load(task.point, task.trial, task.seed)
         if cached is not None:
             item.results[(task.point, task.trial)] = cached
         else:
@@ -253,7 +245,8 @@ def run_suite(
         nonlocal done
         item = prepared[task.request]
         item.results[(task.point, task.trial)] = result
-        _store_result(item.cache_dir, task, result)
+        if item.cache is not None:
+            item.cache.store(task.experiment, task.point, task.trial, task.seed, result)
         done += 1
         if progress is not None:
             progress(f"{task.experiment}[{task.point}] trial {task.trial}", done, total)
@@ -301,7 +294,17 @@ def run_suite(
             if name_counts[stem] > 1:
                 stem = f"{stem}-{item.cache_key}"
             path = Path(out_dir) / f"{stem}.json"
+            # With store set, the task cache lives in the store, so nothing
+            # has created out_dir yet.
+            path.parent.mkdir(parents=True, exist_ok=True)
             path.write_text(sweep.to_json() + "\n", encoding="utf-8")
+        if store is not None:
+            store.save(
+                sweep,
+                spec=item.spec,
+                config=item.base,
+                tags=(tag,) if tag else (),
+            )
         results.append(sweep)
     return results
 
@@ -313,19 +316,25 @@ def run_experiment(
     axes: Optional[Mapping[str, Sequence[object]]] = None,
     workers: Optional[int] = None,
     out_dir: Optional[Union[str, Path]] = None,
+    store: Optional[Union[ResultStore, str, Path]] = None,
+    tag: Optional[str] = None,
     resume: bool = True,
     progress: Optional[ProgressFn] = None,
 ) -> SweepResult:
     """Run one registered experiment (or an ad-hoc spec) and aggregate it.
 
     ``axes`` overrides selected axis values by name, e.g.
-    ``run_experiment("fig9a", axes={"wifi_range": (40.0, 80.0)})``.
+    ``run_experiment("fig9a", axes={"wifi_range": (40.0, 80.0)})``; ``store``
+    (a :class:`ResultStore` or its root directory) persists the aggregate
+    under a content-addressed key, optionally tagged.
     """
     spec = get_experiment(experiment) if isinstance(experiment, str) else experiment
     [result] = run_suite(
         [SweepRequest(spec=spec, config=config, axes=axes)],
         workers=workers,
         out_dir=out_dir,
+        store=store,
+        tag=tag,
         resume=resume,
         progress=progress,
     )

@@ -36,7 +36,6 @@ numbers through the new API, pass ``base_seed=7`` (CLI: ``run table1
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -48,7 +47,13 @@ from repro.wireless import ChannelConfig, WirelessMedium
 from repro.core import CollectionBuilder, build_dapes_peer, build_repository
 from repro.experiments.metrics import RunResult, SweepPoint, SweepResult
 from repro.experiments.scenario import ExperimentConfig, PRODUCER_IDENTITY
-from repro.experiments.spec import ExperimentSpec, Variant, register_experiment
+from repro.experiments.spec import (
+    ExperimentSpec,
+    Variant,
+    deprecated_shim,
+    register_experiment,
+    warn_deprecated_shim,
+)
 from repro.experiments.sweep import run_experiment
 
 REAL_WORLD_WIFI_RANGE = 50.0
@@ -321,22 +326,17 @@ SPEC_TABLE1 = register_experiment(
 
 
 # ------------------------------------------------- deprecated class shim
+@deprecated_shim(SPEC_TABLE1)
 class FeasibilityStudy:
-    """Deprecated shim over the registered ``table1`` spec."""
-
     def __init__(self, config: Optional[ExperimentConfig] = None, seed: int = DEFAULT_FEASIBILITY_SEED):
-        warnings.warn(
-            "FeasibilityStudy is deprecated; use run_experiment('table1', ...)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        warn_deprecated_shim(self)
         base = config if config is not None else ExperimentConfig.small()
         self.config = base.with_overrides(wifi_range=REAL_WORLD_WIFI_RANGE)
         self.seed = seed
 
     # ------------------------------------------------------------------- API
     def run(self, scenarios: Optional[List[int]] = None) -> SweepResult:
-        spec = SPEC_TABLE1
+        spec = self.spec
         if scenarios:  # falsy (None or []) has always meant "all three"
             for scenario in scenarios:
                 if scenario not in _SCENARIO_BUILDERS:

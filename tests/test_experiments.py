@@ -86,11 +86,15 @@ def test_sweep_result_rows_series_and_lookup():
     sweep.add_point(SweepPoint("A", {"wifi_range": 80}, 8.0, 120.0, 1.0, 1))
     sweep.add_point(SweepPoint("B", {"wifi_range": 40}, 20.0, 200.0, 1.0, 1))
     assert len(sweep.rows()) == 3
-    assert sweep.series("download_time")["A"] == [10.0, 8.0]
-    assert sweep.series("transmissions")["B"] == [200.0]
+    # series()/summary() are deprecated shims over ResultSet / report.to_text.
+    with pytest.warns(DeprecationWarning):
+        assert sweep.series("download_time")["A"] == [10.0, 8.0]
+    with pytest.warns(DeprecationWarning):
+        assert sweep.series("transmissions")["B"] == [200.0]
     assert sweep.point("A", wifi_range=80).download_time == 8.0
     assert sweep.point("C") is None
-    assert "Fig" not in sweep.summary() or sweep.summary()  # summary renders without error
+    with pytest.warns(DeprecationWarning):
+        assert sweep.summary()  # renders without error
 
 
 def test_labels_helpers():
