@@ -1,0 +1,90 @@
+"""Guarded NumPy access and array-backend selection.
+
+The hot paths of the simulator (mobility trajectory evaluation, grid
+snapshot rebuilds, per-link propagation filtering) have two implementations:
+the scalar reference code, which works on a bare Python install, and an
+array-native path over contiguous NumPy arrays keyed by node index.  Both
+produce byte-identical results — the scalar code is the oracle the array
+path is tested against — so which one runs is purely a performance choice.
+
+This module is the single place that imports NumPy.  Everything else asks
+:func:`resolve_array_backend` which path to take:
+
+``"auto"`` (default)
+    NumPy when importable, scalar otherwise.  Silent either way — an
+    environment without NumPy is a supported configuration, not an error.
+``"numpy"``
+    The array path.  When NumPy is *not* importable this degrades to
+    scalar with a single :class:`RuntimeWarning` (warned once per process,
+    however many mediums are built), so a mis-provisioned environment is
+    loud but not fatal.
+``"scalar"``
+    The reference path, always available.  Used by the equivalence tests
+    as the oracle side of every array-vs-scalar assertion.
+
+NumPy is an *optional* dependency (``pip install dapes-repro[perf]``);
+importing :mod:`repro` must never require it.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional
+
+try:  # NumPy is optional: every scalar path works without it.
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - exercised via monkeypatching in tests
+    _numpy = None
+
+#: Accepted values of ``ChannelConfig.array_backend``.
+ARRAY_BACKENDS = ("auto", "numpy", "scalar")
+
+_warned_missing_numpy = False
+
+
+def numpy_or_none():
+    """The :mod:`numpy` module, or ``None`` when it is not installed."""
+    return _numpy
+
+
+def numpy_available() -> bool:
+    """Whether the array-native hot path can run in this environment."""
+    return _numpy is not None
+
+
+def numpy_version() -> Optional[str]:
+    """The active NumPy version string, or ``None`` without NumPy.
+
+    Recorded in :class:`~repro.experiments.store.ResultStore` metadata and
+    the committed ``BENCH_*.json`` artifacts so cross-backend comparisons
+    are visible in ``repro-experiments diff``.
+    """
+    return None if _numpy is None else str(_numpy.__version__)
+
+
+def resolve_array_backend(choice: str = "auto") -> str:
+    """Resolve an ``array_backend`` selection to ``"numpy"`` or ``"scalar"``.
+
+    An explicit ``"numpy"`` request without NumPy installed falls back to
+    ``"scalar"`` and warns once per process; ``"auto"`` falls back silently.
+    """
+    global _warned_missing_numpy
+    if choice not in ARRAY_BACKENDS:
+        raise ValueError(
+            f"array_backend must be one of {ARRAY_BACKENDS}, got {choice!r}"
+        )
+    if choice == "scalar":
+        return "scalar"
+    if _numpy is not None:
+        return "numpy"
+    if choice == "numpy" and not _warned_missing_numpy:
+        _warned_missing_numpy = True
+        warnings.warn(
+            "array_backend='numpy' requested but NumPy is not importable; "
+            "falling back to the scalar reference path (results are "
+            "identical, only slower). Install the 'perf' extra to enable "
+            "the array-native hot path.",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return "scalar"

@@ -196,7 +196,10 @@ class DapesForwardingStrategy(ForwardingStrategy):
 
     # ------------------------------------------------------------ suppression
     def _suppression_key(self, name):
-        return name.prefix(min(2, len(name)))
+        # The key only ever meets this private dict, so the raw component
+        # tuple works as well as a Name prefix (same hash/equality semantics)
+        # without allocating a Name per heard frame.
+        return name.components[:2]
 
     def _is_suppressed(self, name) -> bool:
         key = self._suppression_key(name)

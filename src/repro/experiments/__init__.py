@@ -26,7 +26,10 @@ Table I        real-world feasibility scenarios               ``table1``  ``tabl
 Aliases resolve too (``fig9g``/``fig9h`` → ``fig9gh``, ``fig10a``/``fig10b``
 → ``fig10``, ``tablei`` → ``table1``).  Beyond the paper, ``urban``
 (``repro.experiments.urban``) sweeps obstacle density on the Manhattan
-``urban_grid`` topology under unit-disk vs obstacle propagation.
+``urban_grid`` topology under unit-disk vs obstacle propagation, and
+``scaling`` (``repro.experiments.scaling``) measures simulator events/sec
+against node count — the performance artefact behind the ROADMAP's
+array-native hot-path trajectory.
 
 Results are first-class: :class:`ResultStore` persists runs under
 content-addressed keys with metadata headers (``store.py``),
@@ -69,6 +72,7 @@ from repro.experiments.spec import (
     register_experiment,
 )
 from repro.experiments.sweep import SweepRequest, run_experiment, run_suite
+from repro.experiments.scaling import SPEC_SCALING
 from repro.experiments.table1_feasibility import SPEC_TABLE1, FeasibilityStudy, run_feasibility_scenario
 from repro.experiments.urban import SPEC_URBAN
 from repro.experiments.topology import (

@@ -136,6 +136,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["topology"] = args.topology
     if args.propagation is not None:
         overrides["propagation"] = args.propagation
+    if args.array_backend is not None:
+        overrides["array_backend"] = args.array_backend
     if args.workers is not None:
         overrides["workers"] = args.workers
     if args.profile:
@@ -369,14 +371,46 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
-    side_a, _ = _load_run(args.a, args.store)
-    side_b, _ = _load_run(args.b, args.store)
+    side_a, record_a = _load_run(args.a, args.store)
+    side_b, record_b = _load_run(args.b, args.store)
     diff_report = report_mod.diff(
         side_a, side_b, tolerance=args.tolerance, trial_level=not args.no_trials
     )
     text = diff_report.to_markdown() if args.format == "md" else diff_report.summary()
+    note = _cross_backend_note(record_a, record_b)
+    if note:
+        text = f"{note}\n\n{text}"
     _write_output(text, args.out)
     return 1 if diff_report.verdict == report_mod.REGRESSED else 0
+
+
+def _cross_backend_note(record_a, record_b) -> Optional[str]:
+    """A warning line when the two runs used different hot-path backends.
+
+    Simulation results are byte-identical across array backends, but any
+    wall-clock/profile numbers are not comparable across them — flag it
+    rather than letting a perf comparison silently span backends.
+    """
+    backends = []
+    for record in (record_a, record_b):
+        if record is None:
+            return None
+        registries = record.meta.get("registries") or {}
+        backends.append(
+            (registries.get("array_backend"), registries.get("numpy_version"))
+        )
+    if backends[0] == backends[1] or None in (backends[0][0], backends[1][0]):
+        return None
+
+    def label(entry):
+        backend, version = entry
+        return f"{backend} (numpy {version})" if version else str(backend)
+
+    return (
+        f"NOTE: cross-backend comparison — a ran array_backend={label(backends[0])}, "
+        f"b ran array_backend={label(backends[1])}; results must still match, "
+        "but wall-clock/profile numbers are not comparable."
+    )
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -457,6 +491,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="registered topology name (quadrant, clusters, corridor, ...)")
     run_parser.add_argument("--propagation", default=None,
                             help="registered propagation model (unit_disk, log_distance, obstacle)")
+    run_parser.add_argument("--array-backend", default=None,
+                            choices=["auto", "numpy", "scalar"],
+                            help="hot-path implementation (results are byte-identical; "
+                                 "'auto' uses NumPy when importable)")
     run_parser.add_argument("--out", default=None, metavar="DIR",
                             help="persist per-task results + aggregated JSON under DIR (enables resume)")
     run_parser.add_argument("--store", default=None, metavar="DIR",

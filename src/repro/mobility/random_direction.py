@@ -19,7 +19,8 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.mobility.base import MobilityModel, Position
+from repro.arrays import numpy_or_none
+from repro.mobility.base import LegArrayCache, MobilityModel, Position
 
 
 @dataclass(frozen=True)
@@ -89,6 +90,9 @@ class RandomDirectionMobility(MobilityModel):
         # epoch) evaluate the cached leg directly instead of re-deriving it
         # from the segment list.
         self._current: Dict[str, _Segment] = {}
+        # Vectorized view of the same legs, one (t0, t1, x0, y0, vx, vy)
+        # row per node, for positions_array.
+        self._leg_rows = LegArrayCache(6)
 
     # ----------------------------------------------------------------- setup
     def add_node(self, node_id: str, initial_position: Position | Tuple[float, float] | None = None) -> None:
@@ -160,6 +164,21 @@ class RandomDirectionMobility(MobilityModel):
             segment.velocity[0],
             segment.velocity[1],
         )
+
+    def positions_array(self, node_ids, time: float):
+        np = numpy_or_none()
+        if np is None:
+            return super().positions_array(node_ids, time)
+        rows = self._leg_rows.rows_for(
+            np, node_ids, self._version, time,
+            lambda node_id: self.current_leg(node_id, time),
+        )
+        # Same arithmetic as position_xy, fused over every node:
+        # elapsed = min(max(time, t0), t1) - t0;  p = origin + velocity*elapsed.
+        # minimum/maximum/sub/mul/add are IEEE-exact elementwise, so each row
+        # is bit-identical to the scalar query.
+        elapsed = np.minimum(np.maximum(time, rows[:, 0]), rows[:, 1]) - rows[:, 0]
+        return rows[:, 2:4] + rows[:, 4:6] * elapsed[:, None]
 
     def _locate_segment(self, node_id: str, time: float) -> "_Segment | None":
         """Find (and cache) the segment covering ``time``, extending lazily."""

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
+from repro.arrays import numpy_or_none
 from repro.mobility.base import MobilityModel, Position
 
 
@@ -19,6 +20,10 @@ class StaticPlacement(MobilityModel):
     def __init__(self, positions: Mapping[str, Tuple[float, float]] | None = None):
         self._positions: Dict[str, Position] = {}
         self._version = 0
+        # (node-order tuple, version, read-only (N, 2) array): positions are
+        # time-invariant, so one materialisation serves every query until a
+        # teleport or a different node order arrives.
+        self._array_cache: Optional[tuple] = None
         if positions:
             for node_id, (x, y) in positions.items():
                 self._positions[node_id] = Position(x, y)
@@ -49,6 +54,23 @@ class StaticPlacement(MobilityModel):
     def position_xy(self, node_id: str, time: float) -> Tuple[float, float]:
         position = self.position(node_id, time)
         return (position.x, position.y)
+
+    def positions_array(self, node_ids, time: float):
+        np = numpy_or_none()
+        if np is None:
+            return super().positions_array(node_ids, time)
+        order = tuple(node_ids)
+        cached = self._array_cache
+        if cached is not None and cached[0] == order and cached[1] == self._version:
+            return cached[2]
+        rows = np.empty((len(order), 2), dtype=np.float64)
+        for index, node_id in enumerate(order):
+            position = self.position(node_id, time)
+            rows[index, 0] = position.x
+            rows[index, 1] = position.y
+        rows.setflags(write=False)  # shared across queries — callers must copy to mutate
+        self._array_cache = (order, self._version, rows)
+        return rows
 
     def speed_bound(self) -> float:
         return 0.0

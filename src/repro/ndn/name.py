@@ -47,7 +47,7 @@ class Name:
                 if "/" in component:
                     raise ValueError(f"name component {component!r} must not contain '/'")
         self._components = components
-        self._str = "/" + "/".join(components) if components else "/"
+        self._str = None
         self._hash = None
         self._wire_size = None
         return self
@@ -57,7 +57,7 @@ class Name:
         """Internal fast path for components already owned by a Name."""
         name = cls.__new__(cls)
         name._components = components
-        name._str = "/" + "/".join(components) if components else "/"
+        name._str = None
         name._hash = None
         name._wire_size = None
         return name
@@ -77,10 +77,17 @@ class Name:
         return iter(self._components)
 
     def __str__(self) -> str:
-        return self._str
+        # Rendered lazily: most Names live and die inside PIT/CS/FIB lookups
+        # without ever being printed, and the join is measurable at the
+        # hot-path construction rates (every prefix()/append() allocates).
+        value = self._str
+        if value is None:
+            components = self._components
+            value = self._str = "/" + "/".join(components) if components else "/"
+        return value
 
     def __repr__(self) -> str:
-        return f"Name({self._str!r})"
+        return f"Name({str(self)!r})"
 
     def __hash__(self) -> int:
         # Names are hashed on every PIT/CS/FIB lookup; cache (immutable class).
@@ -93,7 +100,7 @@ class Name:
         if isinstance(other, Name):
             return self._components == other._components
         if isinstance(other, str):
-            return self._str == str(Name(other))
+            return self._components == Name(other)._components
         return NotImplemented
 
     def __lt__(self, other: "Name") -> bool:

@@ -93,6 +93,9 @@ def collect_run_profile(sim, medium, wall_clock_s: float) -> Dict[str, float]:
     profile["wireless.arq_retries"] = float(medium.arq_retries)
     profile["wireless.completed_transmissions"] = float(medium.completed_transmissions)
     profile["wireless.link_evaluations"] = float(getattr(medium, "link_evaluations", 0))
+    vectorized = getattr(medium, "vectorized_link_evaluations", None)
+    if vectorized is not None:
+        profile["propagation.vectorized_link_evaluations"] = float(vectorized)
 
     propagation = getattr(medium, "propagation", None)
     if propagation is not None:
@@ -109,6 +112,9 @@ def collect_run_profile(sim, medium, wall_clock_s: float) -> Dict[str, float]:
         rebuilds = getattr(index, "rebuilds", None)
         if rebuilds is not None:
             profile["spatial.snapshot_rebuilds"] = float(rebuilds)
+        array_rebuilds = getattr(index, "array_rebuilds", None)
+        if array_rebuilds is not None:
+            profile["spatial.array_rebuilds"] = float(array_rebuilds)
 
     mobility = getattr(medium, "mobility", None)
     legs = _count_mobility_legs(mobility)

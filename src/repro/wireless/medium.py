@@ -50,6 +50,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 import math
+from repro.arrays import numpy_or_none, resolve_array_backend
 from repro.mobility.base import MobilityModel
 from repro.simulation import Simulator
 from repro.wireless.channel import ChannelConfig
@@ -117,6 +118,19 @@ class WirelessMedium:
         # this is the seed fast path, byte-identical by construction.
         self._trivial = self.propagation.trivial
         self._position_xy = mobility.position_xy
+        # Array-native link evaluation: active when the resolved backend is
+        # NumPy and the propagation model opts in via link_quality_array
+        # (set back to None on the first opt-out so the check stays cheap).
+        self._np = numpy_or_none()
+        self._link_quality_array = (
+            self.propagation.link_quality_array
+            if self._np is not None
+            and resolve_array_backend(self.config.array_backend) == "numpy"
+            else None
+        )
+        self._positions_array = mobility.positions_array
+        self._id_row: Optional[Dict[str, int]] = None
+        self._id_row_order: Optional[Tuple[str, ...]] = None
         self._index = build_neighbor_index(
             self.config, mobility, max_range=self.config.max_range()
         )
@@ -140,6 +154,7 @@ class WirelessMedium:
         self.arq_retries = 0
         self.completed_transmissions = 0
         self.link_evaluations = 0
+        self.vectorized_link_evaluations = 0
 
     # ------------------------------------------------------------- topology
     def attach(self, radio: "Radio") -> None:
@@ -217,6 +232,10 @@ class WirelessMedium:
         preserving the index's attach order so event scheduling stays
         deterministic across spatial backends.
         """
+        if self._link_quality_array is not None and len(candidates) > 1:
+            reachable = self._evaluate_links_array(sender_id, nominal, candidates, now)
+            if reachable is not None:
+                return reachable
         position_xy = self._position_xy
         sender_xy = position_xy(sender_id, now)
         sender_x, sender_y = sender_xy
@@ -239,6 +258,44 @@ class WirelessMedium:
             if loss is not None:
                 reachable.append((receiver_id, loss))
         return reachable
+
+    def _evaluate_links_array(
+        self, sender_id: str, nominal: float, candidates: list[str], now: float
+    ) -> Optional[list[Tuple[str, float]]]:
+        """Batched _evaluate_links over NumPy arrays; bit-identical results.
+
+        Positions come from one ``positions_array`` call over *all* attached
+        nodes (a stable node-order tuple, so the mobility models' array
+        caches keep hitting) with the candidate rows gathered out; distances
+        are one fused sqrt.  Returns ``None`` — and disables itself — when
+        the propagation model's ``link_quality_array`` opts out.
+        """
+        np = self._np
+        node_ids = self.node_ids
+        id_row = self._id_row
+        if id_row is None or self._id_row_order is not node_ids:
+            id_row = self._id_row = {
+                node_id: row for row, node_id in enumerate(node_ids)
+            }
+            self._id_row_order = node_ids
+        positions = self._positions_array(node_ids, now)
+        pos = positions[[id_row[receiver_id] for receiver_id in candidates]]
+        sender_x, sender_y = self._position_xy(sender_id, now)
+        dx = pos[:, 0] - sender_x
+        dy = pos[:, 1] - sender_y
+        distances = np.sqrt(dx * dx + dy * dy)
+        losses = self._link_quality_array(np, sender_id, candidates, distances, nominal)
+        if losses is None:
+            self._link_quality_array = None  # per-pair-only model: stop asking
+            return None
+        count = len(candidates)
+        self.link_evaluations += count
+        self.vectorized_link_evaluations += count
+        return [
+            (receiver_id, loss)
+            for receiver_id, loss in zip(candidates, losses)
+            if loss is not None
+        ]
 
     # ----------------------------------------------------------- transmission
     def transmit(self, sender_id: str, frame: Frame) -> float:
@@ -384,8 +441,10 @@ class WirelessMedium:
         receptions = self._receptions.get(receiver_id)
         if receptions is None:
             return  # radio detached mid-flight
-        if reception in receptions:
+        try:
             receptions.remove(reception)
+        except ValueError:
+            pass  # already pruned by a later transmission's collision scan
         radio = self._radios.get(receiver_id)
         if radio is None:
             return
