@@ -1,0 +1,53 @@
+"""Deterministic churn: population dynamics as a first-class scenario axis.
+
+See :mod:`repro.churn.base` for the model contract and registry,
+:mod:`repro.churn.manager` for the lifecycle manager the scenario builders
+wire into ``world()``.  Importing this package registers the built-in
+models: ``none``, ``poisson``, ``flashcrowd``, ``trace``.
+"""
+
+from repro.churn.base import (
+    ACTIONS,
+    ARRIVE,
+    DEPART,
+    KILL,
+    ChurnEvent,
+    ChurnModel,
+    ChurnPlan,
+    available_churn_models,
+    build_churn_model,
+    churn_model_class,
+    register_churn,
+    validate_churn,
+)
+from repro.churn.flashcrowd import FlashCrowd
+from repro.churn.manager import (
+    DEFAULT_DRAIN_DELAY,
+    ChurnManager,
+    build_churn_manager,
+    churnable_node_ids,
+)
+from repro.churn.poisson import PoissonChurn
+from repro.churn.trace import TraceChurn
+
+__all__ = [
+    "ACTIONS",
+    "ARRIVE",
+    "DEPART",
+    "KILL",
+    "ChurnEvent",
+    "ChurnModel",
+    "ChurnPlan",
+    "ChurnManager",
+    "DEFAULT_DRAIN_DELAY",
+    "FlashCrowd",
+    "PoissonChurn",
+    "TraceChurn",
+    "available_churn_models",
+    "build_churn_manager",
+    "build_churn_model",
+    "churn_model_class",
+    "churnable_node_ids",
+    "register_churn",
+    "validate_churn",
+]

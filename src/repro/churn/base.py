@@ -1,0 +1,198 @@
+"""The deterministic churn-model contract and registry.
+
+A churn model describes *when nodes are present*: which nodes start the run
+offline and the full arrival/departure schedule over the run horizon.  The
+whole schedule is planned up front — :meth:`ChurnModel.plan` is a pure
+function of the churnable node ids, the horizon and the per-node named RNG
+streams (``churn.<node_id>``), so the same seed always produces the same
+population trajectory, serial or parallel, scalar or array backend.
+
+Three departure semantics exist (:class:`ChurnEvent` actions):
+
+* ``arrive``   — the node attaches its radio and starts its application;
+* ``depart``   — *graceful* departure: the application stops (no new work),
+  in-flight transmissions drain for a short window, then the radio detaches;
+* ``kill``     — *abrupt* departure: the radio detaches instantly, mid
+  transfer — the fault-injection path that exercises ARQ pruning, PIT
+  expiry and the liveness guards on fire-and-forget events.
+
+Models register under short names via :func:`register_churn`, mirroring the
+topology/protocol/propagation registries; ``ExperimentConfig.churn`` selects
+one by name and ``ExperimentConfig.churn_params`` parameterizes it.  The
+``none`` model is special-cased by the scenario builders: no manager, no
+events, no RNG stream creation — byte-identical to a build without the
+churn subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Type
+
+#: ChurnEvent actions.
+ARRIVE = "arrive"
+DEPART = "depart"
+KILL = "kill"
+
+ACTIONS = (ARRIVE, DEPART, KILL)
+
+#: ``stream(node_id)`` -> the node's deterministic churn RNG.
+StreamFn = Callable[[str], object]
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled population change."""
+
+    time: float
+    node_id: str
+    action: str  # one of ACTIONS
+
+    def __post_init__(self):
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown churn action {self.action!r}; expected one of {ACTIONS}")
+        if not (isinstance(self.time, (int, float)) and self.time >= 0):
+            raise ValueError(f"churn event time must be non-negative (got {self.time!r})")
+
+
+@dataclass(frozen=True)
+class ChurnPlan:
+    """A full population trajectory: who starts offline, and every change.
+
+    ``events`` is sorted by time (stable — generation order breaks ties), so
+    the lifecycle manager schedules them in one deterministic pass.
+    """
+
+    initially_offline: Tuple[str, ...] = ()
+    events: Tuple[ChurnEvent, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        return not self.initially_offline and not self.events
+
+
+class ChurnModel:
+    """Base class: a deterministic population-dynamics model.
+
+    Subclasses read their parameters from ``params`` in ``__init__`` and
+    implement :meth:`plan`.  ``validate_params`` rejects unknown keys and
+    inconsistent values at configuration time, before any simulator exists —
+    the same contract the propagation registry follows.
+    """
+
+    name: str = ""
+
+    #: Parameter name -> validator returning an error string or None.
+    PARAMS: Mapping[str, Callable[[object], Optional[str]]] = {}
+
+    def __init__(self, params: Optional[Mapping[str, object]] = None):
+        self.params: Dict[str, object] = dict(params or {})
+        self.validate_params(self.params)
+
+    @classmethod
+    def validate_params(cls, params: Mapping[str, object]) -> None:
+        """Raise ``ValueError`` on unknown parameters or inconsistent values."""
+        for key, value in params.items():
+            validator = cls.PARAMS.get(key)
+            if validator is None:
+                raise ValueError(
+                    f"churn model {cls.name!r} has no parameter {key!r}; "
+                    f"available: {sorted(cls.PARAMS)}"
+                )
+            error = validator(value)
+            if error:
+                raise ValueError(f"churn parameter {key!r} {error} (got {value!r})")
+
+    def param(self, key: str, default):
+        return self.params.get(key, default)
+
+    # ----------------------------------------------------------------- planning
+    def plan(self, node_ids: Sequence[str], horizon: float, stream: StreamFn) -> ChurnPlan:
+        """The full population trajectory for ``node_ids`` over ``[0, horizon]``.
+
+        ``stream(node_id)`` returns that node's named deterministic RNG
+        (``churn.<node_id>``); models must draw exclusively from these
+        streams so the plan never perturbs any other stream's sequence.
+        """
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------- shared validators
+def positive_number(value) -> Optional[str]:
+    if not isinstance(value, (int, float)) or not value > 0:
+        return "must be a positive number"
+    return None
+
+
+def non_negative_number(value) -> Optional[str]:
+    if not isinstance(value, (int, float)) or not value >= 0:
+        return "must be a non-negative number"
+    return None
+
+
+def probability(value) -> Optional[str]:
+    if not isinstance(value, (int, float)) or not 0.0 <= value <= 1.0:
+        return "must be a probability in [0, 1]"
+    return None
+
+
+def positive_int(value) -> Optional[str]:
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        return "must be a positive integer"
+    return None
+
+
+# ================================================================== registry
+_CHURN: Dict[str, Type[ChurnModel]] = {}
+
+
+def register_churn(name: str):
+    """Class decorator: make a :class:`ChurnModel` available under ``name``."""
+
+    def decorator(cls: Type[ChurnModel]) -> Type[ChurnModel]:
+        if name in _CHURN:
+            raise ValueError(f"churn model {name!r} is already registered")
+        cls.name = name
+        _CHURN[name] = cls
+        return cls
+
+    return decorator
+
+
+def available_churn_models() -> List[str]:
+    """Names of all registered churn models."""
+    return sorted(_CHURN)
+
+
+def churn_model_class(name: str) -> Type[ChurnModel]:
+    """Resolve a registered churn model class by name."""
+    try:
+        return _CHURN[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown churn model {name!r}; available: {available_churn_models()}"
+        ) from None
+
+
+def validate_churn(name: str, params: Mapping[str, object]) -> None:
+    """Raise ``ValueError`` on an unknown model or inconsistent parameters."""
+    churn_model_class(name).validate_params(params)
+
+
+def build_churn_model(name: str, params: Optional[Mapping[str, object]] = None) -> ChurnModel:
+    """Instantiate the churn model registered under ``name``."""
+    return churn_model_class(name)(params)
+
+
+@register_churn("none")
+class NoChurn(ChurnModel):
+    """The fixed-population null model: nobody arrives, nobody leaves.
+
+    Registered for registry completeness (``repro-experiments list
+    --registries``); the scenario builders special-case ``churn="none"``
+    and never instantiate a manager for it, so a zero-churn run is
+    byte-identical to one built before the churn subsystem existed.
+    """
+
+    def plan(self, node_ids: Sequence[str], horizon: float, stream: StreamFn) -> ChurnPlan:
+        return ChurnPlan()

@@ -43,6 +43,10 @@ class DapesNode:
     def stop(self) -> None:
         self.peer.stop()
 
+    def kill(self) -> None:
+        """Abrupt departure (churn fault injection): nothing more is sent."""
+        self.peer.kill()
+
     @property
     def load(self):
         return self.peer.load

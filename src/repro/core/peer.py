@@ -166,6 +166,18 @@ class DapesPeer:
         self._housekeeping_timer.stop()
         self._started = False
 
+    def kill(self) -> None:
+        """Abrupt departure: stop and cancel every pending response.
+
+        Unlike :meth:`stop` (graceful — queued answers still drain), a
+        killed peer transmits nothing further; its radio is about to be
+        detached mid-transfer by the churn manager.
+        """
+        self.stop()
+        for handle in self._pending_responses.values():
+            self.sim.cancel(handle)
+        self._pending_responses.clear()
+
     def on_collection_complete(self, callback: CompletionCallback) -> None:
         """Register a callback fired when a collection download completes."""
         self._completion_callbacks.append(callback)
@@ -725,6 +737,11 @@ class DapesPeer:
         delay = self._rng.uniform(0.0, self.config.transmission_window)
 
         def _send() -> None:
+            if not self._started:
+                # Liveness guard: the peer departed between scheduling and
+                # firing; a stopped peer must not express new Interests.
+                session.outstanding.pop(index, None)
+                return
             if session.store is None or session.store.has(index):
                 session.outstanding.pop(index, None)
                 self._fill_pipeline(session)
@@ -743,6 +760,9 @@ class DapesPeer:
 
     def _check_data_interest(self, session: CollectionSession, index: int, retries: int) -> None:
         """Retransmit an unanswered data Interest, or give up after the limit."""
+        if not self._started:
+            # Liveness guard: retransmission timer outlived the peer.
+            return
         if session.store is None or session.store.has(index):
             return
         outstanding = session.outstanding.get(index)

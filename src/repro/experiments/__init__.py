@@ -29,7 +29,10 @@ Aliases resolve too (``fig9g``/``fig9h`` → ``fig9gh``, ``fig10a``/``fig10b``
 ``urban_grid`` topology under unit-disk vs obstacle propagation, and
 ``scaling`` (``repro.experiments.scaling``) measures simulator events/sec
 against node count — the performance artefact behind the ROADMAP's
-array-native hot-path trajectory.
+array-native hot-path trajectory.  ``churn`` and ``flashcrowd``
+(``repro.experiments.churn``) exercise population dynamics — sustained
+Poisson churn with graceful/abrupt departures, and burst arrivals into an
+initially empty swarm (see :mod:`repro.churn`).
 
 Results are first-class: :class:`ResultStore` persists runs under
 content-addressed keys with metadata headers (``store.py``),
@@ -72,6 +75,7 @@ from repro.experiments.spec import (
     register_experiment,
 )
 from repro.experiments.sweep import SweepRequest, run_experiment, run_suite
+from repro.experiments.churn import SPEC_CHURN, SPEC_FLASHCROWD
 from repro.experiments.scaling import SPEC_SCALING
 from repro.experiments.table1_feasibility import SPEC_TABLE1, FeasibilityStudy, run_feasibility_scenario
 from repro.experiments.urban import SPEC_URBAN

@@ -111,6 +111,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         print(f"{name:<{name_width}}  {artefacts:<{artefact_width}}  {tasks:>5}  {title}")
     print("\n(tasks = points x trials at the default small() preset and axes)")
     if getattr(args, "registries", False):
+        from repro.churn import available_churn_models
         from repro.experiments.scenario import available_protocols
         from repro.experiments.topology import available_topologies
         from repro.wireless.propagation import available_propagation_models
@@ -120,6 +121,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         print(f"  topologies  : {', '.join(available_topologies())}")
         print(f"  protocols   : {', '.join(available_protocols())}")
         print(f"  propagation : {', '.join(available_propagation_models())}")
+        print(f"  churn       : {', '.join(available_churn_models())}")
     return 0
 
 
@@ -136,6 +138,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["topology"] = args.topology
     if args.propagation is not None:
         overrides["propagation"] = args.propagation
+    if args.churn is not None:
+        overrides["churn"] = args.churn
     if args.array_backend is not None:
         overrides["array_backend"] = args.array_backend
     if args.workers is not None:
@@ -472,7 +476,7 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser = sub.add_parser("list", help="list registered experiments")
     list_parser.add_argument(
         "--registries", action="store_true",
-        help="also list the topology/protocol/propagation registries",
+        help="also list the topology/protocol/propagation/churn registries",
     )
     list_parser.set_defaults(func=_cmd_list)
 
@@ -491,6 +495,8 @@ def build_parser() -> argparse.ArgumentParser:
                             help="registered topology name (quadrant, clusters, corridor, ...)")
     run_parser.add_argument("--propagation", default=None,
                             help="registered propagation model (unit_disk, log_distance, obstacle)")
+    run_parser.add_argument("--churn", default=None,
+                            help="registered churn model (none, poisson, flashcrowd, trace)")
     run_parser.add_argument("--array-backend", default=None,
                             choices=["auto", "numpy", "scalar"],
                             help="hot-path implementation (results are byte-identical; "

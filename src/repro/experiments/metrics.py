@@ -367,6 +367,13 @@ def aggregate_trials(
     total_events = sum(result.events for result in results)
     if total_events:
         extras["events"] = float(total_events)
+    # Churn counters sum across trials; only present when churn was active,
+    # so zero-churn aggregates stay byte-identical to pre-churn output.
+    churn_keys = sorted(
+        {key for result in results for key in result.extras if key.startswith("churn.")}
+    )
+    for key in churn_keys:
+        extras[key] = float(sum(result.extras.get(key, 0.0) for result in results))
     return SweepPoint(
         label=label,
         parameters=dict(parameters),

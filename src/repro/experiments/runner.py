@@ -59,9 +59,15 @@ def run_protocol_trial(
             download_times[node_id] = elapsed
 
     stats = scenario.medium.stats
+    churn = scenario.churn
     profile = (
-        collect_run_profile(sim, scenario.medium, wall_clock_s) if profiling else {}
+        collect_run_profile(sim, scenario.medium, wall_clock_s, churn=churn)
+        if profiling
+        else {}
     )
+    # Churn counters ride in extras only when churn is active, so zero-churn
+    # results stay byte-identical to pre-churn output.
+    extras = churn.metrics() if churn is not None else {}
     return RunResult(
         protocol=protocol,
         seed=seed,
@@ -77,6 +83,7 @@ def run_protocol_trial(
         events=sim.events_processed,
         node_loads=scenario.node_loads(),
         profile=profile,
+        extras=extras,
     )
 
 

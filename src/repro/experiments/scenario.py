@@ -41,6 +41,7 @@ from repro.core import (
     build_dapes_peer,
     build_pure_forwarder,
 )
+from repro.churn import build_churn_manager
 from repro.experiments.topology import get_topology
 
 PRODUCER_IDENTITY = "/residents/producer"
@@ -92,6 +93,11 @@ class ExperimentConfig:
     # by default: profiles hold wall-clock numbers, which are not
     # deterministic, unlike every simulation result.
     profile: bool = False
+    # Population dynamics (see repro.churn): the churn model name and its
+    # parameters.  "none" keeps the fixed population — byte-identical to a
+    # build without the churn subsystem.
+    churn: str = "none"
+    churn_params: Dict[str, object] = field(default_factory=dict)
 
     # DAPES protocol configuration.
     dapes: DapesConfig = field(default_factory=DapesConfig)
@@ -147,14 +153,34 @@ class ExperimentConfig:
             ) from None
 
     def with_overrides(self, **overrides) -> "ExperimentConfig":
-        """Copy with selected fields replaced (``dapes_`` prefixed keys reach the DAPES config)."""
+        """Copy with selected fields replaced.
+
+        ``dapes_`` prefixed keys reach the nested DAPES config; ``churn_``
+        prefixed keys (other than the literal ``churn_params`` field) merge
+        into ``churn_params`` — so a spec axis or CLI ``--axis`` can sweep
+        e.g. ``churn_mean_session`` directly.
+        """
         dapes_overrides = {
             key[len("dapes_"):]: value for key, value in overrides.items() if key.startswith("dapes_")
         }
-        plain = {key: value for key, value in overrides.items() if not key.startswith("dapes_")}
+        churn_overrides = {
+            key[len("churn_"):]: value
+            for key, value in overrides.items()
+            if key.startswith("churn_") and key != "churn_params"
+        }
+        plain = {
+            key: value
+            for key, value in overrides.items()
+            if not key.startswith("dapes_")
+            and (not key.startswith("churn_") or key == "churn_params")
+        }
         config = replace(self, **plain)
         if dapes_overrides:
             config = replace(config, dapes=config.dapes.with_overrides(**dapes_overrides))
+        if churn_overrides:
+            merged = dict(config.churn_params)
+            merged.update(churn_overrides)
+            config = replace(config, churn_params=merged)
         return config
 
     # --------------------------------------------------------- serialization
@@ -220,6 +246,9 @@ class Scenario(ABC):
     config: ExperimentConfig
     protocol: str
     downloader_ids: List[str]
+    # The churn lifecycle manager, or None for a fixed population (the
+    # zero-churn byte-identity path: no manager, no events, no RNG streams).
+    churn: Optional[object] = None
 
     @property
     def environment(self):
@@ -254,6 +283,12 @@ class DapesScenario(Scenario):
     pure_forwarders: Dict[str, PureForwarderNode] = field(default_factory=dict)
 
     def start(self) -> None:
+        if self.churn is not None:
+            self.churn.activate()
+            for node in self.nodes.values():
+                if self.churn.online(node.node_id):
+                    node.start()
+            return
         for node in self.nodes.values():
             node.start()
 
@@ -284,6 +319,12 @@ class IpScenario(Scenario):
     peers: Dict[str, object] = field(default_factory=dict)
 
     def start(self) -> None:
+        if self.churn is not None:
+            self.churn.activate()
+            for node_id, peer in self.peers.items():
+                if self.churn.online(node_id):
+                    peer.start()
+            return
         for peer in self.peers.values():
             peer.start()
 
@@ -355,7 +396,8 @@ class ScenarioBuilder(ABC):
         mobility = topology.build_mobility(config, sim, names)
         environment = topology.build_environment(config)
         medium = WirelessMedium(sim, mobility, config.channel(), environment=environment)
-        return sim, names, medium
+        churn = build_churn_manager(config, sim, medium, names)
+        return sim, names, medium, churn
 
     @abstractmethod
     def build(
@@ -373,7 +415,7 @@ class DapesScenarioBuilder(ScenarioBuilder):
 
     def build(self, config, seed, dapes_config=None):
         dapes_config = dapes_config if dapes_config is not None else config.dapes
-        sim, names, medium = self.world(config, seed)
+        sim, names, medium, churn = self.world(config, seed)
 
         producer_key = KeyPair.generate(PRODUCER_IDENTITY, seed=b"producer-key")
         trust = TrustAnchorStore()
@@ -414,12 +456,25 @@ class DapesScenarioBuilder(ScenarioBuilder):
         for node_id in downloader_ids:
             nodes[node_id].peer.join(metadata.collection)
 
+        if churn is not None:
+            # Every node is built up front; the manager toggles presence.
+            # Full DAPES nodes churn their whole application; pure
+            # forwarders are radio-only (nothing to start or stop).
+            for node_id in churn.node_ids:
+                node = nodes.get(node_id)
+                if node is not None:
+                    churn.register(node_id, node.radio,
+                                   start=node.start, stop=node.stop, kill=node.kill)
+                elif node_id in pure:
+                    churn.register(node_id, pure[node_id].radio)
+
         return DapesScenario(
             sim=sim,
             medium=medium,
             config=config,
             protocol=self.protocol,
             downloader_ids=downloader_ids,
+            churn=churn,
             collection=collection,
             collection_id=collection_id,
             producer_id=producer_id,
@@ -434,7 +489,7 @@ class IpScenarioBuilder(ScenarioBuilder):
     """One of the IP baselines (Bithoc or Ekta) on every node."""
 
     def build(self, config, seed, dapes_config=None):
-        sim, names, medium = self.world(config, seed)
+        sim, names, medium, churn = self.world(config, seed)
 
         per_file = max(1, -(-config.file_size // config.packet_size))
         descriptor = SwarmDescriptor(
@@ -468,12 +523,26 @@ class IpScenarioBuilder(ScenarioBuilder):
         for peer in peers.values():
             peer.set_swarm(swarm_members)
 
+        if churn is not None:
+            # Swarm peers churn their application; forwarder-only nodes are
+            # radio-only (their build functions return None by contract, so
+            # the radio comes from the medium's registry).  Neither baseline
+            # has a distinct abrupt path — kill falls back to stop.
+            for node_id in churn.node_ids:
+                peer = peers.get(node_id)
+                if peer is not None:
+                    churn.register(node_id, peer.ip_node.radio,
+                                   start=peer.start, stop=peer.stop)
+                else:
+                    churn.register(node_id, medium.radio_of(node_id))
+
         return IpScenario(
             sim=sim,
             medium=medium,
             config=config,
             protocol=self.protocol,
             downloader_ids=downloader_ids,
+            churn=churn,
             descriptor=descriptor,
             seed_id=seed_id,
             peers=peers,

@@ -211,6 +211,7 @@ class ResultStore:
                 # across different hot paths by accident.
                 "array_backend": resolved_backend,
                 "numpy_version": numpy_version() if resolved_backend == "numpy" else None,
+                "churn": getattr(config, "churn", "none"),
             }
         if extra:
             meta.update(extra)

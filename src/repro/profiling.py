@@ -69,7 +69,7 @@ class Profiler:
         return merged
 
 
-def collect_run_profile(sim, medium, wall_clock_s: float) -> Dict[str, float]:
+def collect_run_profile(sim, medium, wall_clock_s: float, churn=None) -> Dict[str, float]:
     """Sample one finished trial's counters into a flat profile mapping.
 
     Everything here is read from state the hot paths maintain anyway, so
@@ -120,6 +120,15 @@ def collect_run_profile(sim, medium, wall_clock_s: float) -> Dict[str, float]:
     legs = _count_mobility_legs(mobility)
     if legs is not None:
         profile["mobility.legs_generated"] = float(legs)
+
+    # Churn lifecycle counters — only when a manager exists, so zero-churn
+    # profiles keep their pre-churn key set.
+    if churn is not None:
+        profile["wireless.orphaned_sends"] = float(getattr(medium, "orphaned_sends", 0))
+        profile["churn.arrivals"] = float(churn.arrivals)
+        profile["churn.departures"] = float(churn.departures)
+        profile["churn.abrupt_kills"] = float(churn.abrupt_kills)
+        profile["churn.redundant_events"] = float(churn.redundant_events)
     return profile
 
 

@@ -155,6 +155,7 @@ class WirelessMedium:
         self.completed_transmissions = 0
         self.link_evaluations = 0
         self.vectorized_link_evaluations = 0
+        self.orphaned_sends = 0
 
     # ------------------------------------------------------------- topology
     def attach(self, radio: "Radio") -> None:
@@ -198,6 +199,10 @@ class WirelessMedium:
                 if not peers:
                     del self._retry_index[other]
 
+    def radio_of(self, node_id: str) -> "Radio":
+        """The attached radio for ``node_id`` (KeyError when detached)."""
+        return self._radios[node_id]
+
     @property
     def node_ids(self) -> Tuple[str, ...]:
         """Attached node ids (cached tuple, invalidated on attach/detach)."""
@@ -214,6 +219,10 @@ class WirelessMedium:
         link, for instance, is not a neighbour even when geometrically in
         range).
         """
+        if node_id not in self._radios:
+            # A detached node has no neighbours; callers probing a departed
+            # peer (routing maintenance, liveness checks) get the empty set.
+            return []
         when = self.sim.now if time is None else time
         nominal = self._range_of(node_id)
         if self._trivial:
@@ -305,7 +314,11 @@ class WirelessMedium:
         ongoing transmission(s).  Returns the frame airtime in seconds.
         """
         if sender_id not in self._radios:
-            raise ValueError(f"node {sender_id!r} has no radio attached to this medium")
+            # Liveness guard: a fire-and-forget callback (ARQ retry, delayed
+            # forward, timer tick) can fire after its node departed.  Under
+            # churn that is expected, not a bug — count it and drop the frame.
+            self.orphaned_sends += 1
+            return 0.0
         now = self.sim.now
         airtime = self.config.airtime(frame.size_bytes)
         start = max(now, self._busy_until.get(sender_id, 0.0))
