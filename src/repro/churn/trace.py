@@ -8,9 +8,12 @@ writing exact-timing regression tests (kill *this* node at *this* instant,
 mid-ARQ-retry) without fishing for a seed that happens to produce the
 interleaving under a stochastic model.
 
-Node ids referencing nodes outside the churnable set are validated by the
-lifecycle manager at registration time, not here — the model cannot know
-the topology's names.
+Node ids are validated against the churnable set at ``plan()`` time — a
+trace referencing a node the topology does not have raises ``ValueError``
+with the offending id and the known names, instead of being silently
+dropped (or surfacing later as a mid-run ``KeyError``).  Events at or
+beyond the horizon are still filtered out: truncating a long measured
+trace to a shorter run is legitimate; naming a ghost node is a typo.
 """
 
 from __future__ import annotations
@@ -62,15 +65,28 @@ class TraceChurn(ChurnModel):
 
     def plan(self, node_ids: Sequence[str], horizon: float, stream: StreamFn) -> ChurnPlan:
         known = set(node_ids)
-        offline = tuple(
-            node_id
-            for node_id in self.param("initially_offline", ())
-            if node_id in known
-        )
+        offline = []
+        for node_id in self.param("initially_offline", ()):
+            if node_id not in known:
+                raise ValueError(
+                    f"trace churn: initially_offline names unknown node {node_id!r}; "
+                    f"churnable nodes are {sorted(known)}"
+                )
+            offline.append(node_id)
         events: List[ChurnEvent] = []
         for time, node_id, action in self.param("events", ()):
-            if node_id not in known or time >= horizon:
+            if node_id not in known:
+                raise ValueError(
+                    f"trace churn: event [{time}, {node_id!r}, {action!r}] names an "
+                    f"unknown node; churnable nodes are {sorted(known)}"
+                )
+            if action not in ACTIONS:
+                raise ValueError(
+                    f"trace churn: event [{time}, {node_id!r}, {action!r}] has an "
+                    f"unknown action; expected one of {ACTIONS}"
+                )
+            if time >= horizon:
                 continue
             events.append(ChurnEvent(time=float(time), node_id=node_id, action=action))
         events.sort(key=lambda event: event.time)
-        return ChurnPlan(initially_offline=offline, events=tuple(events))
+        return ChurnPlan(initially_offline=tuple(offline), events=tuple(events))

@@ -84,6 +84,17 @@ class DapesConfig:
     interested_in_all:
         Download every collection discovered (used by repositories); when
         ``False`` the peer only downloads collections it was told to join.
+    retransmit_jitter:
+        Resilience hardening: multiply each data-Interest retransmission
+        timeout by ``1 + U(0, retransmit_jitter)`` so synchronized
+        retransmissions desynchronize under sustained loss (jittered
+        exponential backoff).  ``0.0`` (the default) draws nothing and is
+        byte-identical to the pre-hardening behaviour.
+    dark_neighbor_fallback:
+        Resilience hardening: when a neighbour goes dark mid-transfer (its
+        bitmap exchange times out), immediately forget it and deterministically
+        fall back to the remaining active neighbours instead of waiting for
+        the neighbour timeout.  Off by default (byte-identical when off).
     """
 
     packet_size: int = 1024
@@ -111,6 +122,8 @@ class DapesConfig:
     neighbor_timeout: float = 6.0
     knowledge_timeout: float = 15.0
     interested_in_all: bool = False
+    retransmit_jitter: float = 0.0
+    dark_neighbor_fallback: bool = False
 
     def __post_init__(self) -> None:
         if self.packet_size <= 0:
@@ -127,6 +140,8 @@ class DapesConfig:
             raise ValueError("max_bitmaps must be None or >= 1")
         if self.pipeline_size < 1:
             raise ValueError("pipeline_size must be >= 1")
+        if not 0.0 <= self.retransmit_jitter <= 1.0:
+            raise ValueError("retransmit_jitter must be within [0, 1]")
 
     def with_overrides(self, **overrides) -> "DapesConfig":
         """Return a copy of this config with ``overrides`` applied."""

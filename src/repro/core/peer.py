@@ -752,6 +752,11 @@ class DapesPeer:
             # than the Interest lifetime so a single lost frame does not stall
             # the pipeline.
             rto = self.config.data_retransmit_timeout * (2 ** min(retries, 4))
+            if self.config.retransmit_jitter:
+                # Jittered exponential backoff: desynchronize peers whose
+                # retransmission timers would otherwise collide under
+                # sustained loss.  Zero jitter draws nothing (byte-identity).
+                rto *= 1.0 + self._rng.uniform(0.0, self.config.retransmit_jitter)
             self.sim.schedule_call(rto, self._check_data_interest, session, index, retries)
             self.load.timers_armed += 1
 
@@ -817,6 +822,8 @@ class DapesPeer:
                 # Allow a later retry with a fresh serial if the target is still around.
                 for session in self.sessions.values():
                     session.bitmaps_requested.discard(target)
+                if self.config.dark_neighbor_fallback:
+                    self._fallback_from_dark_neighbor(target)
             return
         if kind == "metadata":
             collection = DapesNamespace.metadata_collection(name)
@@ -836,6 +843,44 @@ class DapesPeer:
             if session is None or session.store is None:
                 return
             self._fill_pipeline(session)
+
+    def _fallback_from_dark_neighbor(self, peer_id: str) -> None:
+        """Graceful degradation: a neighbour went dark mid-transfer.
+
+        Rather than waiting out ``neighbor_timeout`` on a peer that stopped
+        answering (stalled, partitioned away, or abruptly killed), forget it
+        now and re-steer every incomplete session toward the remaining
+        active neighbours — deterministically, in sorted order, so fault
+        runs stay byte-identical across backends.
+        """
+        self.neighbors.pop(peer_id, None)
+        self.knowledge.forget_neighbor(peer_id)
+        candidates = sorted(peer for peer in self._active_neighbors() if peer != peer_id)
+        for session in self.sessions.values():
+            if session.fetch is not None:
+                session.fetch.forget_peer(peer_id)
+            session.bitmaps_requested.discard(peer_id)
+            if peer_id in session.pending_bitmap_targets:
+                session.pending_bitmap_targets.remove(peer_id)
+            if session.interested and not session.is_complete and session.metadata is not None:
+                for candidate in candidates:
+                    self._maybe_request_bitmap(session, candidate)
+                self._fill_pipeline(session)
+
+    # ----------------------------------------------------------------- recovery
+    def reannounce(self) -> None:
+        """Recovery nudge: a partition healed or a stall resumed nearby.
+
+        Sends an immediate discovery Interest (instead of waiting for the
+        periodic timer) and kicks every incomplete session's pipeline so
+        re-discovered neighbours are put to work right away.
+        """
+        if not self._started:
+            return
+        self._send_discovery()
+        for session in self.sessions.values():
+            if session.interested and session.metadata is not None and not session.is_complete:
+                self._fill_pipeline(session)
 
     # ------------------------------------------------------------- neighbours
     def _touch_neighbor(self, peer_id: str) -> None:

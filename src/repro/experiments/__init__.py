@@ -32,7 +32,10 @@ against node count — the performance artefact behind the ROADMAP's
 array-native hot-path trajectory.  ``churn`` and ``flashcrowd``
 (``repro.experiments.churn``) exercise population dynamics — sustained
 Poisson churn with graceful/abrupt departures, and burst arrivals into an
-initially empty swarm (see :mod:`repro.churn`).
+initially empty swarm (see :mod:`repro.churn`) — and ``faults`` and
+``partition`` (``repro.experiments.faults``) exercise network faults —
+link flapping and mid-run partitions with invariant monitoring and
+recovery metrics (see :mod:`repro.faults`).
 
 Results are first-class: :class:`ResultStore` persists runs under
 content-addressed keys with metadata headers (``store.py``),
@@ -76,6 +79,7 @@ from repro.experiments.spec import (
 )
 from repro.experiments.sweep import SweepRequest, run_experiment, run_suite
 from repro.experiments.churn import SPEC_CHURN, SPEC_FLASHCROWD
+from repro.experiments.faults import SPEC_FAULTS, SPEC_PARTITION
 from repro.experiments.scaling import SPEC_SCALING
 from repro.experiments.table1_feasibility import SPEC_TABLE1, FeasibilityStudy, run_feasibility_scenario
 from repro.experiments.urban import SPEC_URBAN

@@ -114,6 +114,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         from repro.churn import available_churn_models
         from repro.experiments.scenario import available_protocols
         from repro.experiments.topology import available_topologies
+        from repro.faults import available_fault_models
         from repro.wireless.propagation import available_propagation_models
 
         print()
@@ -122,6 +123,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         print(f"  protocols   : {', '.join(available_protocols())}")
         print(f"  propagation : {', '.join(available_propagation_models())}")
         print(f"  churn       : {', '.join(available_churn_models())}")
+        print(f"  faults      : {', '.join(available_fault_models())}")
     return 0
 
 
@@ -140,6 +142,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["propagation"] = args.propagation
     if args.churn is not None:
         overrides["churn"] = args.churn
+    if args.faults is not None:
+        overrides["faults"] = args.faults
+    if args.invariants:
+        overrides["invariants"] = True
     if args.array_backend is not None:
         overrides["array_backend"] = args.array_backend
     if args.workers is not None:
@@ -476,7 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser = sub.add_parser("list", help="list registered experiments")
     list_parser.add_argument(
         "--registries", action="store_true",
-        help="also list the topology/protocol/propagation/churn registries",
+        help="also list the topology/protocol/propagation/churn/faults registries",
     )
     list_parser.set_defaults(func=_cmd_list)
 
@@ -497,6 +503,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="registered propagation model (unit_disk, log_distance, obstacle)")
     run_parser.add_argument("--churn", default=None,
                             help="registered churn model (none, poisson, flashcrowd, trace)")
+    run_parser.add_argument("--faults", default=None,
+                            help="registered fault model (none, link_flap, partition, stall, degrade)")
+    run_parser.add_argument("--invariants", action="store_true",
+                            help="enable runtime safety/liveness invariant monitoring "
+                                 "(pure observation; a violation fails the trial)")
     run_parser.add_argument("--array-backend", default=None,
                             choices=["auto", "numpy", "scalar"],
                             help="hot-path implementation (results are byte-identical; "

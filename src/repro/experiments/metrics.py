@@ -374,6 +374,26 @@ def aggregate_trials(
     )
     for key in churn_keys:
         extras[key] = float(sum(result.extras.get(key, 0.0) for result in results))
+    # Fault and recovery counters, same discipline: absent for zero-fault
+    # runs.  Counts sum across trials; rate/latency keys aggregate by their
+    # suffix — ``_mean`` and goodput average over the trials reporting them,
+    # ``_max`` takes the worst trial.
+    fault_keys = sorted(
+        {
+            key
+            for result in results
+            for key in result.extras
+            if key.startswith("faults.") or key.startswith("recovery.")
+        }
+    )
+    for key in fault_keys:
+        values = [result.extras[key] for result in results if key in result.extras]
+        if key.endswith("_max"):
+            extras[key] = float(max(values))
+        elif key.endswith("_mean") or key == "recovery.goodput_under_fault":
+            extras[key] = float(sum(values) / len(values))
+        else:
+            extras[key] = float(sum(values))
     return SweepPoint(
         label=label,
         parameters=dict(parameters),

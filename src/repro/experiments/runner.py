@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 from repro.core import DapesConfig
 from repro.experiments.metrics import RunResult, SweepPoint, aggregate_trials
 from repro.experiments.scenario import ExperimentConfig, get_builder
+from repro.faults import InvariantViolationError, build_invariant_monitor
 from repro.profiling import collect_run_profile
 
 
@@ -43,6 +44,11 @@ def run_protocol_trial(
             sim.stop()
 
     scenario.watch_completion(_on_complete)
+    # The invariant monitor is pure observation (no RNG draws, no scheduled
+    # events), so installing it never changes what the simulation computes.
+    monitor = build_invariant_monitor(
+        config, sim, scenario.medium, faults=getattr(scenario, "faults", None)
+    )
     scenario.start()
     profiling = bool(getattr(config, "profile", False))
     start_clock = time.perf_counter() if profiling else 0.0
@@ -60,14 +66,21 @@ def run_protocol_trial(
 
     stats = scenario.medium.stats
     churn = scenario.churn
+    faults = getattr(scenario, "faults", None)
     profile = (
-        collect_run_profile(sim, scenario.medium, wall_clock_s, churn=churn)
+        collect_run_profile(sim, scenario.medium, wall_clock_s, churn=churn, faults=faults)
         if profiling
         else {}
     )
-    # Churn counters ride in extras only when churn is active, so zero-churn
-    # results stay byte-identical to pre-churn output.
+    # Churn/fault counters ride in extras only when the subsystem is active,
+    # so zero-churn, zero-fault results stay byte-identical to prior output.
     extras = churn.metrics() if churn is not None else {}
+    if faults is not None:
+        extras.update(faults.metrics())
+    if monitor is not None:
+        violations = monitor.finalize(scenario)
+        if violations:
+            raise InvariantViolationError(violations)
     return RunResult(
         protocol=protocol,
         seed=seed,

@@ -42,6 +42,7 @@ from repro.core import (
     build_pure_forwarder,
 )
 from repro.churn import build_churn_manager
+from repro.faults import build_fault_manager
 from repro.experiments.topology import get_topology
 
 PRODUCER_IDENTITY = "/residents/producer"
@@ -98,6 +99,15 @@ class ExperimentConfig:
     # build without the churn subsystem.
     churn: str = "none"
     churn_params: Dict[str, object] = field(default_factory=dict)
+    # Fault injection (see repro.faults): the fault model name and its
+    # parameters.  "none" injects nothing — byte-identical to a build
+    # without the fault subsystem (no manager, no RNG streams, no events).
+    faults: str = "none"
+    fault_params: Dict[str, object] = field(default_factory=dict)
+    # Runtime safety/liveness invariant monitoring (repro.faults.invariants).
+    # Pure observation — enabling it draws no randomness and schedules no
+    # events, so it never perturbs results; a violation raises at trial end.
+    invariants: bool = False
 
     # DAPES protocol configuration.
     dapes: DapesConfig = field(default_factory=DapesConfig)
@@ -157,8 +167,10 @@ class ExperimentConfig:
 
         ``dapes_`` prefixed keys reach the nested DAPES config; ``churn_``
         prefixed keys (other than the literal ``churn_params`` field) merge
-        into ``churn_params`` — so a spec axis or CLI ``--axis`` can sweep
-        e.g. ``churn_mean_session`` directly.
+        into ``churn_params``; ``fault_`` prefixed keys (other than the
+        literal ``fault_params`` field) merge into ``fault_params`` — so a
+        spec axis or CLI ``--axis`` can sweep e.g. ``churn_mean_session``
+        or ``fault_mean_down`` directly.
         """
         dapes_overrides = {
             key[len("dapes_"):]: value for key, value in overrides.items() if key.startswith("dapes_")
@@ -168,11 +180,17 @@ class ExperimentConfig:
             for key, value in overrides.items()
             if key.startswith("churn_") and key != "churn_params"
         }
+        fault_overrides = {
+            key[len("fault_"):]: value
+            for key, value in overrides.items()
+            if key.startswith("fault_") and key != "fault_params"
+        }
         plain = {
             key: value
             for key, value in overrides.items()
             if not key.startswith("dapes_")
             and (not key.startswith("churn_") or key == "churn_params")
+            and (not key.startswith("fault_") or key == "fault_params")
         }
         config = replace(self, **plain)
         if dapes_overrides:
@@ -181,6 +199,10 @@ class ExperimentConfig:
             merged = dict(config.churn_params)
             merged.update(churn_overrides)
             config = replace(config, churn_params=merged)
+        if fault_overrides:
+            merged = dict(config.fault_params)
+            merged.update(fault_overrides)
+            config = replace(config, fault_params=merged)
         return config
 
     # --------------------------------------------------------- serialization
@@ -249,6 +271,9 @@ class Scenario(ABC):
     # The churn lifecycle manager, or None for a fixed population (the
     # zero-churn byte-identity path: no manager, no events, no RNG streams).
     churn: Optional[object] = None
+    # The fault manager, or None for a fault-free run (the zero-fault
+    # byte-identity path, same discipline as churn).
+    faults: Optional[object] = None
 
     @property
     def environment(self):
@@ -283,6 +308,8 @@ class DapesScenario(Scenario):
     pure_forwarders: Dict[str, PureForwarderNode] = field(default_factory=dict)
 
     def start(self) -> None:
+        if self.faults is not None:
+            self.faults.activate()
         if self.churn is not None:
             self.churn.activate()
             for node in self.nodes.values():
@@ -319,6 +346,8 @@ class IpScenario(Scenario):
     peers: Dict[str, object] = field(default_factory=dict)
 
     def start(self) -> None:
+        if self.faults is not None:
+            self.faults.activate()
         if self.churn is not None:
             self.churn.activate()
             for node_id, peer in self.peers.items():
@@ -397,7 +426,8 @@ class ScenarioBuilder(ABC):
         environment = topology.build_environment(config)
         medium = WirelessMedium(sim, mobility, config.channel(), environment=environment)
         churn = build_churn_manager(config, sim, medium, names)
-        return sim, names, medium, churn
+        faults = build_fault_manager(config, sim, medium, names)
+        return sim, names, medium, churn, faults
 
     @abstractmethod
     def build(
@@ -415,7 +445,7 @@ class DapesScenarioBuilder(ScenarioBuilder):
 
     def build(self, config, seed, dapes_config=None):
         dapes_config = dapes_config if dapes_config is not None else config.dapes
-        sim, names, medium, churn = self.world(config, seed)
+        sim, names, medium, churn, faults = self.world(config, seed)
 
         producer_key = KeyPair.generate(PRODUCER_IDENTITY, seed=b"producer-key")
         trust = TrustAnchorStore()
@@ -468,6 +498,14 @@ class DapesScenarioBuilder(ScenarioBuilder):
                 elif node_id in pure:
                     churn.register(node_id, pure[node_id].radio)
 
+        if faults is not None:
+            # Recovery nudge: when a partition heals or a stall resumes, the
+            # affected DAPES peers re-announce immediately instead of waiting
+            # out the periodic discovery timer.  Pure forwarders have no
+            # application to nudge.
+            for node_id, node in sorted(nodes.items()):
+                faults.register_heal(node_id, node.peer.reannounce)
+
         return DapesScenario(
             sim=sim,
             medium=medium,
@@ -475,6 +513,7 @@ class DapesScenarioBuilder(ScenarioBuilder):
             protocol=self.protocol,
             downloader_ids=downloader_ids,
             churn=churn,
+            faults=faults,
             collection=collection,
             collection_id=collection_id,
             producer_id=producer_id,
@@ -489,7 +528,7 @@ class IpScenarioBuilder(ScenarioBuilder):
     """One of the IP baselines (Bithoc or Ekta) on every node."""
 
     def build(self, config, seed, dapes_config=None):
-        sim, names, medium, churn = self.world(config, seed)
+        sim, names, medium, churn, faults = self.world(config, seed)
 
         per_file = max(1, -(-config.file_size // config.packet_size))
         descriptor = SwarmDescriptor(
@@ -543,6 +582,7 @@ class IpScenarioBuilder(ScenarioBuilder):
             protocol=self.protocol,
             downloader_ids=downloader_ids,
             churn=churn,
+            faults=faults,
             descriptor=descriptor,
             seed_id=seed_id,
             peers=peers,

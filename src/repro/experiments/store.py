@@ -212,6 +212,7 @@ class ResultStore:
                 "array_backend": resolved_backend,
                 "numpy_version": numpy_version() if resolved_backend == "numpy" else None,
                 "churn": getattr(config, "churn", "none"),
+                "faults": getattr(config, "faults", "none"),
             }
         if extra:
             meta.update(extra)

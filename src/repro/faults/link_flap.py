@@ -1,0 +1,76 @@
+"""Link-flap faults: per-pair loss episodes layered onto any propagation.
+
+Each participating node pair lives through an alternating renewal process —
+an *up* interval followed by a *down* episode, both exponential — entirely
+analogous to the Poisson churn model, but over links instead of nodes.  A
+``pair_fraction`` of all pairs participates (the rest never flap), and a
+down episode either blocks the link outright (``severity=1.0``, the
+default) or adds ``severity`` extra loss probability on top of whatever the
+propagation model and the uniform channel loss already impose.
+
+Every draw for a pair comes from that pair's own named stream
+(``faults.link.<a>|<b>``, ids sorted), so one link's trajectory never
+perturbs another's — the property that keeps plans identical across
+spatial backends and execution modes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.faults.base import (
+    LINK,
+    FaultEpisode,
+    FaultModel,
+    FaultPlan,
+    StreamFn,
+    pair_key,
+    positive_number,
+    probability,
+    register_fault,
+    severity_value,
+)
+
+
+@register_fault("link_flap")
+class LinkFlap(FaultModel):
+    """Alternating up/down renewal episodes per node pair."""
+
+    PARAMS = {
+        "mean_up": positive_number,
+        "mean_down": positive_number,
+        "pair_fraction": probability,
+        "severity": severity_value,
+    }
+
+    def plan(self, node_ids: Sequence[str], horizon: float, stream: StreamFn) -> FaultPlan:
+        mean_up = float(self.param("mean_up", 20.0))
+        mean_down = float(self.param("mean_down", 5.0))
+        pair_fraction = float(self.param("pair_fraction", 0.3))
+        severity = float(self.param("severity", 1.0))
+
+        episodes: List[FaultEpisode] = []
+        ordered = sorted(node_ids)
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1:]:
+                pair = pair_key(a, b)
+                rng = stream(f"link.{pair[0]}|{pair[1]}")
+                # The first draw decides participation, so adding a pair to
+                # the topology never shifts any other pair's episode times.
+                if rng.random() >= pair_fraction:
+                    continue
+                time = rng.expovariate(1.0 / mean_up)
+                while time < horizon:
+                    down = rng.expovariate(1.0 / mean_down)
+                    episodes.append(
+                        FaultEpisode(
+                            kind=LINK,
+                            start=time,
+                            end=min(time + down, horizon),
+                            subject=pair,
+                            severity=severity,
+                        )
+                    )
+                    time += down + rng.expovariate(1.0 / mean_up)
+        episodes.sort(key=lambda episode: episode.start)
+        return FaultPlan(episodes=tuple(episodes))

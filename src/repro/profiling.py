@@ -69,7 +69,7 @@ class Profiler:
         return merged
 
 
-def collect_run_profile(sim, medium, wall_clock_s: float, churn=None) -> Dict[str, float]:
+def collect_run_profile(sim, medium, wall_clock_s: float, churn=None, faults=None) -> Dict[str, float]:
     """Sample one finished trial's counters into a flat profile mapping.
 
     Everything here is read from state the hot paths maintain anyway, so
@@ -129,6 +129,10 @@ def collect_run_profile(sim, medium, wall_clock_s: float, churn=None) -> Dict[st
         profile["churn.departures"] = float(churn.departures)
         profile["churn.abrupt_kills"] = float(churn.abrupt_kills)
         profile["churn.redundant_events"] = float(churn.redundant_events)
+    # Fault and recovery counters — same discipline: absent for zero-fault
+    # profiles.
+    if faults is not None:
+        profile.update(faults.metrics())
     return profile
 
 

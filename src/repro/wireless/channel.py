@@ -61,6 +61,17 @@ class ChannelConfig:
     propagation_params:
         Model-specific parameters, validated against the selected backend's
         declared parameter set (unknown keys or out-of-range values raise).
+    unicast_retry_limit:
+        802.11-style link-layer ARQ retry ceiling for unicast frames
+        (historically the ``UNICAST_RETRY_LIMIT`` module constant in
+        :mod:`repro.wireless.medium`; defaults unchanged so fault specs can
+        sweep it without perturbing every other run).
+    unicast_retry_backoff:
+        Base ARQ retransmission backoff in seconds; the k-th retry waits
+        ``k * unicast_retry_backoff`` plus a small random jitter.
+    inter_frame_space:
+        Gap between back-to-back frames of one sender in seconds,
+        approximating DIFS + MAC processing.
     """
 
     data_rate_bps: float = 11_000_000.0
@@ -74,6 +85,9 @@ class ChannelConfig:
     delivery: str = "batched"
     propagation: str = "unit_disk"
     propagation_params: Dict[str, object] = field(default_factory=dict)
+    unicast_retry_limit: int = 3
+    unicast_retry_backoff: float = 0.002
+    inter_frame_space: float = 0.00005
 
     def __post_init__(self) -> None:
         if self.data_rate_bps <= 0:
@@ -100,6 +114,12 @@ class ChannelConfig:
             raise ValueError(
                 f"delivery must be one of {DELIVERY_MODES}, got {self.delivery!r}"
             )
+        if not isinstance(self.unicast_retry_limit, int) or self.unicast_retry_limit < 0:
+            raise ValueError("unicast_retry_limit must be a non-negative integer")
+        if self.unicast_retry_backoff < 0:
+            raise ValueError("unicast_retry_backoff must be non-negative")
+        if self.inter_frame_space < 0:
+            raise ValueError("inter_frame_space must be non-negative")
         # Validate the propagation selection eagerly so misconfigured sweeps
         # fail at config construction, not mid-trial in a pool worker.
         from repro.wireless.propagation import validate_propagation

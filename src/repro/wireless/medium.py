@@ -60,6 +60,9 @@ from repro.wireless.propagation import build_propagation
 from repro.wireless.spatial import build_neighbor_index
 from repro.wireless.stats import MediumStats
 
+# Historical module-level defaults; the live values now come from
+# ChannelConfig (unicast_retry_limit / unicast_retry_backoff /
+# inter_frame_space) so fault specs can sweep them per run.
 INTER_FRAME_SPACE = 0.00005  # 50 us, approximates DIFS + MAC processing
 MAX_CSMA_DEFERRALS = 16      # give up sensing and transmit anyway after this many deferrals
 UNICAST_RETRY_LIMIT = 3      # 802.11 link-layer ARQ retries for unicast frames
@@ -149,6 +152,16 @@ class WirelessMedium:
         self._retry_index: Dict[str, Set[int]] = {}
         self._batched = self.config.delivery == "batched"
         self._node_ids_cache: Optional[Tuple[str, ...]] = None
+        # MAC timing/ARQ knobs (hoisted from module constants onto the
+        # channel config; defaults are byte-identical to the constants).
+        self._inter_frame_space = self.config.inter_frame_space
+        self._unicast_retry_limit = self.config.unicast_retry_limit
+        self._unicast_retry_backoff = self.config.unicast_retry_backoff
+        # Fault injection (repro.faults): None in a fault-free run, so the
+        # hot paths pay one attribute check and nothing else.  The invariant
+        # monitor's delivery hook is equally optional and pure observation.
+        self._faults = None
+        self._delivery_monitor = None
         # Profiling counters (sampled by repro.profiling; cheap increments).
         self.csma_deferrals = 0
         self.arq_retries = 0
@@ -156,6 +169,15 @@ class WirelessMedium:
         self.link_evaluations = 0
         self.vectorized_link_evaluations = 0
         self.orphaned_sends = 0
+
+    # ---------------------------------------------------------------- faults
+    def set_fault_manager(self, faults) -> None:
+        """Hook a :class:`repro.faults.manager.FaultManager` into the medium."""
+        self._faults = faults
+
+    def set_delivery_monitor(self, monitor) -> None:
+        """Install a pure-observation callback fired before each delivery."""
+        self._delivery_monitor = monitor
 
     # ------------------------------------------------------------- topology
     def attach(self, radio: "Radio") -> None:
@@ -225,12 +247,20 @@ class WirelessMedium:
             return []
         when = self.sim.now if time is None else time
         nominal = self._range_of(node_id)
+        faults = self._faults
         if self._trivial:
-            return self._index.neighbors(node_id, nominal, when)
-        candidates = self._index.neighbors(
-            node_id, self.propagation.max_range(nominal), when
-        )
-        return [other for other, _loss in self._evaluate_links(node_id, nominal, candidates, when)]
+            reachable = self._index.neighbors(node_id, nominal, when)
+        else:
+            candidates = self._index.neighbors(
+                node_id, self.propagation.max_range(nominal), when
+            )
+            reachable = [
+                other for other, _loss in self._evaluate_links(node_id, nominal, candidates, when)
+            ]
+        if faults is not None:
+            # A blocked link or a stalled peer is not a usable neighbour.
+            return [other for other in reachable if faults.visible(node_id, other)]
+        return reachable
 
     def _evaluate_links(
         self, sender_id: str, nominal: float, candidates: list[str], now: float
@@ -319,11 +349,17 @@ class WirelessMedium:
             # churn that is expected, not a bug — count it and drop the frame.
             self.orphaned_sends += 1
             return 0.0
+        faults = self._faults
+        if faults is not None and faults.sender_stalled(sender_id):
+            # A stalled node is paused, not dead: its frame is queued and
+            # replayed through this method, in order, when the stall ends.
+            faults.queue_frame(sender_id, frame)
+            return 0.0
         now = self.sim.now
         airtime = self.config.airtime(frame.size_bytes)
         start = max(now, self._busy_until.get(sender_id, 0.0))
         if start > now:
-            start += INTER_FRAME_SPACE
+            start += self._inter_frame_space
             self._busy_until[sender_id] = start + airtime
             self.sim.schedule_call(start - now, self._begin_transmission, sender_id, frame, airtime, 0)
         else:
@@ -349,7 +385,7 @@ class WirelessMedium:
         if busy_until > now and deferrals < MAX_CSMA_DEFERRALS:
             self.csma_deferrals += 1
             backoff = self._backoff_rng.uniform(0.0, 0.001)
-            restart = busy_until - now + INTER_FRAME_SPACE + backoff
+            restart = busy_until - now + self._inter_frame_space + backoff
             self._busy_until[sender_id] = max(self._busy_until[sender_id], now + restart + airtime)
             self.sim.schedule_call(restart, self._begin_transmission, sender_id, frame, airtime, deferrals + 1)
             return
@@ -359,11 +395,18 @@ class WirelessMedium:
         nominal = self._range_of(sender_id)
         batch = []
         busy_until = self._busy_until
+        faults = self._faults
         if self._trivial:
             # Seed fast path: every index candidate is a loss-free receiver
             # (no per-link evaluation, no extra allocations).
             for receiver_id in self._index.neighbors(sender_id, nominal, now):
-                reception = _Reception(frame, now, end_time)
+                if faults is not None:
+                    extra = faults.link_extra_loss(sender_id, receiver_id)
+                    if extra is None:
+                        continue  # link blocked (flap or partition boundary)
+                else:
+                    extra = 0.0
+                reception = _Reception(frame, now, end_time, extra)
                 # Half-duplex: a transmitting node cannot receive.
                 if busy_until.get(receiver_id, 0.0) > now:
                     reception.corrupted = True
@@ -377,6 +420,12 @@ class WirelessMedium:
             for receiver_id, link_loss in self._evaluate_links(
                 sender_id, nominal, candidates, now
             ):
+                if faults is not None:
+                    extra = faults.link_extra_loss(sender_id, receiver_id)
+                    if extra is None:
+                        continue
+                    if extra:
+                        link_loss = 1.0 - (1.0 - link_loss) * (1.0 - extra)
                 reception = _Reception(frame, now, end_time, link_loss)
                 if busy_until.get(receiver_id, 0.0) > now:
                     reception.corrupted = True
@@ -465,6 +514,12 @@ class WirelessMedium:
             radio.stats.frames_collided += 1
             self._maybe_retry_unicast(receiver_id, reception.frame)
             return
+        faults = self._faults
+        if faults is not None and faults.delivery_suppressed(receiver_id):
+            # The receiver stalled while the frame was on the air: a silent
+            # peer, indistinguishable from loss — so ARQ reacts as to loss.
+            self._maybe_retry_unicast(receiver_id, reception.frame)
+            return
         # Per-link propagation loss (fading, lossy wall penetration) draws
         # from its own stream; unit_disk links carry 0.0 and never draw, so
         # the seed RNG sequences are untouched.
@@ -481,6 +536,10 @@ class WirelessMedium:
         self.stats.deliveries += 1
         if reception.frame.destination == receiver_id:
             self._drop_retry_state(reception.frame.frame_id)
+        if faults is not None:
+            faults.note_delivery(reception.frame.sender, receiver_id)
+        if self._delivery_monitor is not None:
+            self._delivery_monitor(receiver_id, reception.frame)
         radio.deliver(reception.frame)
 
     # ------------------------------------------------------------------- ARQ
@@ -509,13 +568,13 @@ class WirelessMedium:
             self._unicast_retries[frame.frame_id] = state
             self._retry_index.setdefault(frame.sender, set()).add(frame.frame_id)
             self._retry_index.setdefault(frame.destination, set()).add(frame.frame_id)
-        if state.retries >= UNICAST_RETRY_LIMIT:
+        if state.retries >= self._unicast_retry_limit:
             self._drop_retry_state(frame.frame_id)
             return
         retries = state.retries
         state.retries = retries + 1
         self.arq_retries += 1
-        backoff = UNICAST_RETRY_BACKOFF * (retries + 1) + self._backoff_rng.uniform(0.0, 0.001)
+        backoff = self._unicast_retry_backoff * (retries + 1) + self._backoff_rng.uniform(0.0, 0.001)
         self.sim.schedule_call(backoff, self._retry_transmit, frame.sender, frame)
 
     def _retry_transmit(self, sender_id: str, frame: Frame) -> None:

@@ -166,18 +166,26 @@ def test_flashcrowd_sessions_end_when_mean_session_set():
 def test_trace_replays_schedule_literally():
     model = TraceChurn(
         {
-            "events": [[5.0, "b", KILL], [2.0, "a", DEPART], [9.0, "ghost", KILL],
-                       [500.0, "a", ARRIVE]],
-            "initially_offline": ["c", "ghost"],
+            "events": [[5.0, "b", KILL], [2.0, "a", DEPART], [500.0, "a", ARRIVE]],
+            "initially_offline": ["c"],
         }
     )
     plan = model.plan(["a", "b", "c"], 100.0, make_stream())
-    # Unknown nodes and beyond-horizon events are dropped; the rest sorted.
+    # Beyond-horizon events are dropped; the rest sorted by time.
     assert plan.initially_offline == ("c",)
     assert [(e.time, e.node_id, e.action) for e in plan.events] == [
         (2.0, "a", DEPART),
         (5.0, "b", KILL),
     ]
+
+
+def test_trace_rejects_unknown_nodes_at_plan_time():
+    ghost_event = TraceChurn({"events": [[9.0, "ghost", KILL]]})
+    with pytest.raises(ValueError, match="unknown node.*ghost|ghost.*unknown"):
+        ghost_event.plan(["a", "b"], 100.0, make_stream())
+    ghost_offline = TraceChurn({"initially_offline": ["ghost"]})
+    with pytest.raises(ValueError, match="ghost"):
+        ghost_offline.plan(["a", "b"], 100.0, make_stream())
 
 
 def test_trace_validation_rejects_malformed_events():
