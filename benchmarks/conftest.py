@@ -54,7 +54,7 @@ def _wall_clock_seconds(benchmark) -> float | None:
         return None
 
 
-def report(result, benchmark=None) -> None:
+def report(result, benchmark=None, slug=None, metadata=None) -> None:
     """Print an experiment's rows and archive them under benchmark_results/.
 
     The archived ``<slug>.txt`` tables are what EXPERIMENTS.md's measured
@@ -62,14 +62,17 @@ def report(result, benchmark=None) -> None:
     inline.  When the pytest-benchmark fixture is passed along, a
     machine-readable ``BENCH_<slug>.json`` is written next to the table with
     the wall-clock and simulation-event throughput, giving future PRs a perf
-    trajectory to compare against.
+    trajectory to compare against.  ``slug`` overrides the filename stem
+    (default: slugified ``result.name``); ``metadata`` merges extra keys
+    into the JSON payload (e.g. an A/B throughput breakdown).
     """
     table = to_text(result)
     print()
     print(table)
     results_dir = pathlib.Path(__file__).resolve().parent.parent / "benchmark_results"
     results_dir.mkdir(exist_ok=True)
-    slug = re.sub(r"[^a-z0-9]+", "-", result.name.lower()).strip("-")[:60]
+    if slug is None:
+        slug = re.sub(r"[^a-z0-9]+", "-", result.name.lower()).strip("-")[:60]
     (results_dir / f"{slug}.txt").write_text(table + "\n", encoding="utf-8")
 
     wall_s = _wall_clock_seconds(benchmark) if benchmark is not None else None
@@ -86,6 +89,8 @@ def report(result, benchmark=None) -> None:
         "numpy_version": numpy_version() if backend == "numpy" else None,
         "points": result.rows(),
     }
+    if metadata:
+        payload.update(metadata)
     (results_dir / f"BENCH_{slug}.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n",
         encoding="utf-8",

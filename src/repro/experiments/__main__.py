@@ -148,6 +148,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["invariants"] = True
     if args.array_backend is not None:
         overrides["array_backend"] = args.array_backend
+    if args.shards is not None:
+        overrides["shards"] = args.shards
+    if args.shard_workers is not None:
+        overrides["shard_workers"] = args.shard_workers
+    if args.shard_executor is not None:
+        overrides["shard_executor"] = args.shard_executor
+    if args.scalar_query_limit is not None:
+        overrides["scalar_query_limit"] = args.scalar_query_limit
     if args.workers is not None:
         overrides["workers"] = args.workers
     if args.profile:
@@ -251,10 +259,17 @@ def _cmd_perf_gate(args: argparse.Namespace) -> int:
     if not baseline_rate:
         raise SystemExit(f"perf-gate: baseline {baseline_path} has no events_per_sec")
 
-    config = ExperimentConfig.small().with_overrides(
-        trials=args.trials, max_duration=400.0
-    )
-    axes = {"wifi_range": tuple(float(v) for v in args.wifi_range.split(","))}
+    overrides: Dict[str, object] = {"trials": args.trials, "max_duration": 400.0}
+    if args.neighbor_index is not None:
+        overrides["neighbor_index"] = args.neighbor_index
+    config = ExperimentConfig.small().with_overrides(**overrides)
+    # --axis generalizes the gate beyond fig9a (e.g. the scaling workload);
+    # without it the historical wifi_range default keeps old invocations
+    # (and the committed fig9a BENCH axes) working unchanged.
+    if args.axis:
+        axes = _parse_axis_overrides(args.axis)
+    else:
+        axes = {"wifi_range": tuple(float(v) for v in args.wifi_range.split(","))}
     spec = get_experiment(args.experiment)
     # Warm-up pass (imports, name/classification caches), then the timed run.
     if args.warmup:
@@ -512,6 +527,20 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=["auto", "numpy", "scalar"],
                             help="hot-path implementation (results are byte-identical; "
                                  "'auto' uses NumPy when importable)")
+    run_parser.add_argument("--shards", type=int, default=None,
+                            help="region-shard the medium into K x-stripe regions "
+                                 "(byte-identical results; see repro.wireless.sharded)")
+    run_parser.add_argument("--shard-workers", type=int, default=None,
+                            help="step shard snapshot builds with this many workers "
+                                 "at each epoch barrier (default 1 = serial)")
+    run_parser.add_argument("--shard-executor", default=None,
+                            choices=["thread", "process", "serial"],
+                            help="intra-trial shard executor (default thread; only "
+                                 "consulted when --shard-workers > 1)")
+    run_parser.add_argument("--scalar-query-limit", type=int, default=None,
+                            help="population threshold for the array index's "
+                                 "scalar/vectorized crossover (default: 256 for grid, "
+                                 "1 for grid_array)")
     run_parser.add_argument("--out", default=None, metavar="DIR",
                             help="persist per-task results + aggregated JSON under DIR (enables resume)")
     run_parser.add_argument("--store", default=None, metavar="DIR",
@@ -611,7 +640,16 @@ def build_parser() -> argparse.ArgumentParser:
     gate_parser.add_argument("--trials", type=int, default=1,
                              help="trials per sweep point for the timed run (default: 1)")
     gate_parser.add_argument("--wifi-range", default="40,80", metavar="V1,V2",
-                             help="wifi_range axis of the timed run (default: 40,80 — the BENCH axes)")
+                             help="wifi_range axis of the timed run (fig9a only; "
+                                  "default: 40,80 — the BENCH axes)")
+    gate_parser.add_argument("--axis", action="append", default=[], metavar="NAME=V1,V2",
+                             help="axis values of the timed run, e.g. --axis node_factor=4,8 "
+                                  "for the scaling workload (repeatable; replaces the "
+                                  "fig9a wifi_range default)")
+    gate_parser.add_argument("--neighbor-index", default=None,
+                             choices=["grid", "grid_array", "brute"],
+                             help="neighbor index of the timed run (match the baseline's "
+                                  "recorded configuration, e.g. grid_array for scaling)")
     gate_parser.add_argument("--no-warmup", dest="warmup", action="store_false",
                              help="skip the untimed warm-up pass")
     gate_parser.set_defaults(func=_cmd_perf_gate)

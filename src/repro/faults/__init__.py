@@ -12,6 +12,7 @@ from repro.faults.base import (
     KINDS,
     LINK,
     PARTITION,
+    SHARD,
     SPATIAL,
     STALL,
     FaultEpisode,
@@ -40,6 +41,7 @@ __all__ = [
     "KINDS",
     "LINK",
     "PARTITION",
+    "SHARD",
     "SPATIAL",
     "STALL",
     "Degrade",

@@ -1,0 +1,87 @@
+"""Deterministic epoch arithmetic for region-sharded execution.
+
+The sharded wireless medium advances in fixed-length *synchronization
+epochs*: between two epoch boundaries every shard serves queries from its
+own snapshot, and at each boundary the shards re-synchronize (membership is
+reassigned, snapshots are rebuilt — possibly concurrently — and the
+per-shard boundary queues are merged).  The epoch schedule must be a pure
+function of simulated time so that serial and parallel execution, and
+sharded and unsharded media, agree on *when* every barrier happens.
+
+:class:`EpochClock` is that pure function plus a tiny amount of roll-over
+bookkeeping.  It deliberately schedules **no events**: barriers are crossed
+lazily, on the first query that lands in a new epoch, so a sharded run
+processes exactly the same event count as an unsharded one (``RunResult``
+byte-identity would otherwise be impossible).
+
+Per-shard sequence allocation lives here too: when K shards step
+concurrently inside one epoch, any artifact they emit (boundary-queue
+entries, snapshot builds) is tagged with :meth:`EpochClock.sequence` — a
+deterministic ``epoch * shards + shard`` key, totally ordered and
+independent of thread scheduling — so merging at the barrier never depends
+on which worker finished first.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["EpochClock"]
+
+
+class EpochClock:
+    """Fixed-length epoch schedule over simulated time.
+
+    Parameters
+    ----------
+    length:
+        Epoch duration in simulated seconds (must be positive and finite).
+    """
+
+    __slots__ = ("length", "epoch", "rolls")
+
+    def __init__(self, length: float):
+        if not (length > 0.0 and math.isfinite(length)):
+            raise ValueError("epoch length must be positive and finite")
+        self.length = length
+        #: Index of the current epoch (-1 until the first advance).
+        self.epoch = -1
+        #: How many barriers have been crossed (monotonic, for profiling).
+        self.rolls = 0
+
+    def epoch_of(self, time: float) -> int:
+        """The epoch index containing simulated ``time``."""
+        return math.floor(time / self.length)
+
+    def advance(self, time: float) -> bool:
+        """Move the clock to ``time``; return ``True`` when a barrier was crossed.
+
+        Idempotent within one epoch: only the first call in a new epoch
+        reports a roll.  Time travelling backwards (which the medium never
+        does, but property tests might) never un-rolls an epoch.
+        """
+        epoch = self.epoch_of(time)
+        if epoch > self.epoch:
+            self.epoch = epoch
+            self.rolls += 1
+            return True
+        return False
+
+    def force_roll(self) -> None:
+        """Invalidate the current epoch so the next :meth:`advance` rolls.
+
+        Used when an external mutation (teleport, unbounded-speed mobility)
+        voids the drift guarantees an epoch relies on.
+        """
+        self.epoch = -1
+
+    def sequence(self, shard: int, shards: int) -> int:
+        """Deterministic merge key for ``shard``'s artifacts this epoch.
+
+        Totally ordered across ``(epoch, shard)`` pairs and independent of
+        worker scheduling, so barrier merges sort on it instead of on
+        completion order.
+        """
+        if not 0 <= shard < shards:
+            raise ValueError(f"shard {shard} out of range for {shards} shards")
+        return self.epoch * shards + shard

@@ -1,0 +1,540 @@
+"""The region-sharded medium must be invisible except in the profiler.
+
+Three layers of contract, from geometry up to whole trials:
+
+* unit behaviour — :class:`RegionPartition` stripe arithmetic,
+  :class:`EpochClock` barrier/sequence allocation and the
+  :class:`ShardExecutor` fallback ladder are each deterministic;
+* index equivalence — a sharded index returns *exactly* the neighbor lists
+  (including order) of the brute-force reference, property-style over random
+  worlds, shard counts, epochs and region widths, through churn
+  (attach/detach) and cross-shard migration, in every executor mode;
+* run byte-identity — a sharded trial is byte-identical to an unsharded one
+  on committed specs, with churn and faults armed, including boundary events
+  interleaved at identical timestamps and nodes migrating across shard
+  boundaries mid-transfer.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arrays import numpy_available
+from repro.experiments import ExperimentConfig, run_protocol_trial
+from repro.faults import SHARD, FaultEpisode, FaultManager, FaultModel, FaultPlan, PARTITION
+from repro.faults.partition import Partition
+from repro.mobility import (
+    CompositeMobility,
+    RandomDirectionMobility,
+    ScriptedMobility,
+    StaticPlacement,
+)
+from repro.simulation import EpochClock, Simulator
+from repro.wireless import ChannelConfig, Radio, RegionPartition, WirelessMedium
+from repro.wireless.sharded import ShardedNeighborIndex, ShardExecutor, partition_for_config
+from repro.wireless.spatial import BruteForceNeighborIndex, build_neighbor_index
+
+AREA = 200.0
+
+
+# ================================================================= geometry
+def test_region_partition_stripes_deal_modulo_shards():
+    partition = RegionPartition(3, 50.0)
+    assert [partition.stripe_of(x) for x in (0.0, 49.9, 50.0, 149.9)] == [0, 0, 1, 2]
+    assert [partition.shard_of(x) for x in (0.0, 50.0, 100.0, 150.0)] == [0, 1, 2, 0]
+    # Total over an unbounded world: wanderers west of the origin still map.
+    assert partition.shard_of(-0.1) == 2  # stripe -1 -> shard 2
+
+
+def test_region_partition_overlap_window_is_ascending_and_complete():
+    partition = RegionPartition(4, 50.0)
+    assert partition.shards_overlapping(75.0, 10.0) == (1,)
+    assert partition.shards_overlapping(75.0, 30.0) == (0, 1, 2)
+    assert partition.shards_overlapping(5.0, 10.0) == (0, 3)  # wraps west
+    # A reach spanning >= K stripes must scan everything, exactly once each.
+    assert partition.shards_overlapping(0.0, 1e6) == (0, 1, 2, 3)
+
+
+def test_region_partition_validation():
+    with pytest.raises(ValueError):
+        RegionPartition(0, 50.0)
+    with pytest.raises(ValueError):
+        RegionPartition(2, 0.0)
+    with pytest.raises(ValueError):
+        RegionPartition(2, math.inf)
+
+
+def test_partition_for_config_defaults_to_reach_sized_regions():
+    config = ChannelConfig(wifi_range=80.0, shards=3)
+    partition = partition_for_config(config)
+    assert (partition.shards, partition.region_width) == (3, config.max_range())
+    explicit = partition_for_config(ChannelConfig(shards=2, shard_region_width=25.0))
+    assert (explicit.shards, explicit.region_width) == (2, 25.0)
+
+
+# =============================================================== epoch clock
+def test_epoch_clock_advances_only_across_barriers():
+    clock = EpochClock(2.0)
+    assert clock.advance(0.0) is True  # first observation rolls
+    assert clock.advance(1.9) is False  # same epoch
+    assert clock.advance(2.0) is True
+    assert clock.advance(1.0) is False  # queries into the past never re-roll
+    assert clock.rolls == 2
+
+
+def test_epoch_clock_force_roll_rolls_at_the_next_observation():
+    clock = EpochClock(1.0)
+    clock.advance(5.0)
+    clock.force_roll()
+    assert clock.advance(5.0) is True  # same timestamp, but forced
+    assert clock.rolls == 2
+
+
+def test_epoch_clock_sequence_allocates_disjoint_per_shard_keys():
+    clock = EpochClock(1.0)
+    clock.advance(7.0)
+    keys = [clock.sequence(shard, 4) for shard in range(4)]
+    assert keys == sorted(keys) and len(set(keys)) == 4
+    later = EpochClock(1.0)
+    later.advance(8.0)
+    # A later epoch's keys sort strictly after every earlier-epoch key.
+    assert later.sequence(0, 4) > keys[-1]
+    with pytest.raises(ValueError):
+        clock.sequence(4, 4)
+
+
+# ================================================================= executor
+def _square(value):
+    return value * value
+
+
+@pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+def test_shard_executor_preserves_task_order(mode):
+    executor = ShardExecutor(mode, workers=3)
+    tasks = [(_square, (value,)) for value in range(7)]
+    assert executor.run(tasks) == [value * value for value in range(7)]
+    if mode != "serial" and executor.mode == mode:  # no environment fallback
+        assert executor.parallel_barriers == 1
+    executor.close()
+
+
+def test_shard_executor_degrades_to_serial_for_single_worker():
+    executor = ShardExecutor("thread", workers=1)
+    assert executor.mode == "serial"
+    with pytest.raises(ValueError):
+        ShardExecutor("fibers", workers=2)
+
+
+# ====================================================== index equivalence
+def build_mobility(static_coords, mobile_count, seed):
+    """A mixed world: pinned nodes plus random-direction walkers."""
+    mobility = CompositeMobility()
+    static = StaticPlacement()
+    node_ids = []
+    for index, (x, y) in enumerate(static_coords):
+        node_id = f"s{index}"
+        static.place(node_id, x, y)
+        mobility.assign(node_id, static)
+        node_ids.append(node_id)
+    walkers = RandomDirectionMobility(
+        width=AREA, height=AREA, min_speed=1.0, max_speed=12.0, rng=random.Random(seed)
+    )
+    for index in range(mobile_count):
+        node_id = f"m{index}"
+        walkers.add_node(node_id)
+        mobility.assign(node_id, walkers)
+        node_ids.append(node_id)
+    return mobility, node_ids
+
+
+coords = st.tuples(
+    st.floats(min_value=-50.0, max_value=AREA + 50.0, allow_nan=False),
+    st.floats(min_value=-50.0, max_value=AREA + 50.0, allow_nan=False),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    static_coords=st.lists(coords, min_size=0, max_size=6),
+    mobile_count=st.integers(min_value=0, max_value=8),
+    shards=st.integers(min_value=1, max_value=5),
+    region_width=st.floats(min_value=10.0, max_value=150.0, allow_nan=False),
+    epoch=st.floats(min_value=0.05, max_value=5.0, allow_nan=False),
+    radius=st.floats(min_value=1.0, max_value=150.0, allow_nan=False),
+    use_array=st.booleans(),
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=60.0, allow_nan=False), min_size=1, max_size=6
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_sharded_matches_brute_force_for_random_worlds(
+    static_coords, mobile_count, shards, region_width, epoch, radius, use_array, times, seed
+):
+    if use_array and not numpy_available():
+        use_array = False
+    mobility, node_ids = build_mobility(static_coords, mobile_count, seed)
+    brute = BruteForceNeighborIndex(mobility)
+    sharded = ShardedNeighborIndex(
+        mobility,
+        cell_size=60.0,
+        shards=shards,
+        region_width=region_width,
+        epoch=epoch,
+        use_array=use_array,
+        scalar_query_limit=1 if use_array else 256,
+    )
+    for node_id in node_ids:
+        brute.attach(node_id)
+        sharded.attach(node_id)
+    for when in times:
+        for node_id in node_ids:
+            expected = brute.neighbors(node_id, radius, when)
+            assert sharded.neighbors(node_id, radius, when) == expected
+
+
+@pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+def test_sharded_equivalence_under_churn_in_every_executor_mode(executor):
+    """Random attach/detach against brute force, stepping shards in parallel."""
+    mobility, node_ids = build_mobility([(10.0, 10.0), (150.0, 80.0)], 10, seed=7)
+    brute = BruteForceNeighborIndex(mobility)
+    sharded = ShardedNeighborIndex(
+        mobility, cell_size=60.0, shards=3, region_width=66.0, epoch=2.0,
+        workers=3, executor=executor,
+    )
+    rng = random.Random(11)
+    attached = []
+    detached = list(node_ids)
+    for step in range(120):
+        when = step * 0.25
+        action = rng.random()
+        if detached and (not attached or action < 0.4):
+            node_id = detached.pop(rng.randrange(len(detached)))
+            brute.attach(node_id)
+            sharded.attach(node_id)
+            attached.append(node_id)
+        elif attached and action > 0.8:
+            node_id = attached.pop(rng.randrange(len(attached)))
+            brute.detach(node_id)
+            sharded.detach(node_id)
+            detached.append(node_id)
+        for node_id in attached:
+            assert sharded.neighbors(node_id, 70.0, when) == brute.neighbors(
+                node_id, 70.0, when
+            )
+    if executor != "serial" and sharded.executor.mode == executor:
+        assert sharded.executor.parallel_barriers > 0
+    sharded.executor.close()
+
+
+def test_migration_across_shard_boundaries_is_counted_and_lossless():
+    """A walker crossing region borders keeps identical neighbor results."""
+    mobility = ScriptedMobility()
+    mobility.add_static_node("west", 20.0, 0.0)
+    mobility.add_static_node("east", 180.0, 0.0)
+    mobility.add_node("walker", [(0.0, 10.0, 0.0), (20.0, 190.0, 0.0)])
+    brute = BruteForceNeighborIndex(mobility)
+    sharded = ShardedNeighborIndex(
+        mobility, cell_size=60.0, shards=3, region_width=AREA / 3, epoch=1.0
+    )
+    for node_id in ("west", "east", "walker"):
+        brute.attach(node_id)
+        sharded.attach(node_id)
+    for step in range(81):
+        when = step * 0.25
+        for node_id in ("west", "east", "walker"):
+            assert sharded.neighbors(node_id, 80.0, when) == brute.neighbors(
+                node_id, 80.0, when
+            )
+    # The walker crossed two stripe borders; each crossing is a handoff.
+    assert sharded.shard_migrations >= 2
+    assert sharded.epoch_rolls > 1
+    assert sharded.shard_of("walker") == sharded.partition.shard_of(190.0)
+
+
+# ===================================================== boundary interleaving
+def _delivery_trace(shards, sender_xs, order, wifi_range=250.0):
+    """Deliveries at a central receiver from senders firing simultaneously."""
+    sim = Simulator(seed=5)
+    positions = {"rx": (AREA / 2, 100.0)}
+    for index, x in enumerate(sender_xs):
+        positions[f"tx{index}"] = (x, 100.0)
+    config = ChannelConfig(wifi_range=wifi_range, loss_rate=0.0)
+    if shards > 1:
+        config = ChannelConfig(
+            wifi_range=wifi_range, loss_rate=0.0, shards=shards,
+            shard_region_width=AREA / shards, shard_workers=2,
+        )
+    medium = WirelessMedium(sim, StaticPlacement(positions), config)
+    radios = {node: Radio(sim, medium, node) for node in positions}
+    trace = []
+    for node, radio in radios.items():
+        radio.on_receive = (
+            lambda frame, node=node: trace.append((node, frame.sender, frame.kind))
+        )
+        radio.on_overhear = (
+            lambda frame, node=node: trace.append((node, frame.sender, "~" + frame.kind))
+        )
+    for position, index in enumerate(order):
+        # Every frame launches at *exactly* t=1.0: the boundary events from
+        # different regions carry identical timestamps and only the global
+        # (time, seq) tuple keys order them.
+        sim.schedule_call(
+            1.0, radios[f"tx{index}"].broadcast, f"p{position}", 400, f"k{position}"
+        )
+    sim.run()
+    return trace
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    shards=st.integers(min_value=2, max_value=5),
+    sender_xs=st.lists(
+        st.floats(min_value=0.0, max_value=AREA, allow_nan=False),
+        min_size=2,
+        max_size=5,
+        unique=True,
+    ),
+    data=st.data(),
+)
+def test_boundary_events_at_identical_timestamps_interleave_identically(
+    shards, sender_xs, data
+):
+    order = data.draw(st.permutations(range(len(sender_xs))))
+    expected = _delivery_trace(1, sender_xs, order)
+    assert expected  # senders reach the central receiver
+    assert _delivery_trace(shards, sender_xs, order) == expected
+
+
+def test_mid_transfer_boundary_handoff_is_byte_identical():
+    """Frames keep flowing, in order, while the receiver changes shards."""
+
+    def run(shards):
+        sim = Simulator(seed=9)
+        mobility = ScriptedMobility()
+        mobility.add_static_node("src", 10.0, 0.0)
+        mobility.add_node("walker", [(0.0, 30.0, 0.0), (20.0, 190.0, 0.0)])
+        config = ChannelConfig(
+            wifi_range=120.0, loss_rate=0.0, shards=shards,
+            shard_region_width=AREA / 3 if shards > 1 else None,
+        )
+        medium = WirelessMedium(sim, mobility, config)
+        radios = {node: Radio(sim, medium, node) for node in ("src", "walker")}
+        received = []
+        radios["walker"].on_receive = lambda frame: received.append(
+            (sim.now, frame.kind)
+        )
+        for step in range(24):
+            sim.schedule_call(
+                step * 0.5, radios["src"].unicast, "walker", step, 600, f"seg{step}"
+            )
+        sim.run()
+        return received, medium
+
+    expected, _ = run(1)
+    actual, medium = run(3)
+    assert actual == expected
+    assert expected  # the stream did deliver before the walker left range
+    # The walker crossed at least one region border while frames were in
+    # flight, so the handoff path (not just the steady state) was exercised.
+    assert medium._index.shard_migrations >= 1
+    assert medium.region_partition.shards == 3
+
+
+# ========================================================== trial identity
+def run_fingerprint(config, seed=42, protocol="dapes"):
+    return run_protocol_trial(protocol, config, seed).to_dict()
+
+
+SHARDED = dict(shards=3, shard_workers=2)
+
+CHURN_AND_FAULTS = dict(
+    churn="poisson",
+    churn_mean_session=1.0,
+    churn_mean_offline=1.0,
+    churn_abrupt_fraction=0.5,
+    faults="link_flap",
+    num_files=2,
+    file_size=40_000,
+    max_duration=45.0,
+)
+
+
+def test_sharded_trial_byte_identical_to_unsharded():
+    base = ExperimentConfig.tiny()
+    assert run_fingerprint(base.with_overrides(**SHARDED)) == run_fingerprint(base)
+
+
+def test_sharded_trial_byte_identical_with_churn_and_faults_armed():
+    base = ExperimentConfig.tiny().with_overrides(**CHURN_AND_FAULTS)
+    reference = run_fingerprint(base)
+    assert reference["extras"]["churn.abrupt_kills"] > 0  # churn actually ran
+    assert run_fingerprint(base.with_overrides(**SHARDED)) == reference
+
+
+@pytest.mark.skipif(not numpy_available(), reason="requires numpy")
+def test_sharded_trial_byte_identical_across_array_backends():
+    base = ExperimentConfig.tiny().with_overrides(**SHARDED)
+    reference = run_fingerprint(base.with_overrides(array_backend="scalar"))
+    for overrides in (
+        dict(array_backend="numpy"),
+        dict(array_backend="numpy", neighbor_index="grid_array"),
+    ):
+        assert run_fingerprint(base.with_overrides(**overrides)) == reference
+
+
+def test_shard_executor_modes_are_byte_identical_at_trial_level():
+    base = ExperimentConfig.tiny().with_overrides(shards=3)
+    reference = run_fingerprint(base.with_overrides(shard_workers=1))
+    threaded = base.with_overrides(shard_workers=3, shard_executor="thread")
+    assert run_fingerprint(threaded) == reference
+
+
+def test_profile_records_shard_counters_only_when_sharded():
+    base = ExperimentConfig.tiny().with_overrides(profile=True, max_duration=30.0)
+    plain = run_protocol_trial("dapes", base, seed=1).profile
+    assert "spatial.shards" not in plain
+    sharded = run_protocol_trial(
+        "dapes", base.with_overrides(**SHARDED), seed=1
+    ).profile
+    assert sharded["spatial.shards"] == 3
+    assert sharded["spatial.epoch_rolls"] > 0
+    assert sharded["spatial.shard_snapshot_builds"] > 0
+    assert sharded["spatial.parallel_barriers"] > 0
+    # Profiling the sharded medium must not perturb the outcome counters.
+    assert sharded["engine.events"] == plain["engine.events"]
+
+
+# ========================================================== config plumbing
+def test_channel_config_validates_shard_fields():
+    assert ChannelConfig(shards=4, shard_workers=2).shards == 4
+    with pytest.raises(ValueError):
+        ChannelConfig(shards=0)
+    with pytest.raises(ValueError):
+        ChannelConfig(shards=2, neighbor_index="brute")
+    with pytest.raises(ValueError):
+        ChannelConfig(shard_workers=0)
+    with pytest.raises(ValueError):
+        ChannelConfig(shard_executor="fibers")
+    with pytest.raises(ValueError):
+        ChannelConfig(shard_epoch=0.0)
+    with pytest.raises(ValueError):
+        ChannelConfig(scalar_query_limit=0)
+
+
+def test_scalar_query_limit_promotion_keeps_measured_defaults():
+    mobility = StaticPlacement({"a": (0.0, 0.0)})
+    if numpy_available():
+        auto = build_neighbor_index(ChannelConfig(neighbor_index="grid_array"), mobility)
+        assert auto.scalar_query_limit == 1  # grid_array's measured default
+        overridden = build_neighbor_index(
+            ChannelConfig(neighbor_index="grid_array", scalar_query_limit=7), mobility
+        )
+        assert overridden.scalar_query_limit == 7
+    sharded = build_neighbor_index(
+        ChannelConfig(shards=2, scalar_query_limit=9, array_backend="numpy"), mobility
+    )
+    assert isinstance(sharded, ShardedNeighborIndex)
+    for sub in sharded._subs:
+        assert getattr(sub, "scalar_query_limit", 9) == 9
+
+
+def test_experiment_config_threads_shard_fields_into_the_channel():
+    config = ExperimentConfig.tiny().with_overrides(
+        shards=4, shard_workers=2, shard_executor="serial", scalar_query_limit=17
+    )
+    channel = config.channel()
+    assert (channel.shards, channel.shard_workers) == (4, 2)
+    assert channel.shard_executor == "serial"
+    assert channel.scalar_query_limit == 17
+    # Balanced regions: the K shards tile the configured area.
+    assert channel.shard_region_width == pytest.approx(config.area_size / 4)
+    roundtrip = ExperimentConfig.from_dict(config.as_dict())
+    assert roundtrip.shards == 4 and roundtrip.scalar_query_limit == 17
+
+
+def test_cli_exposes_shard_and_query_limit_flags():
+    from repro.experiments.__main__ import build_parser
+
+    args = build_parser().parse_args(
+        ["run", "scaling", "--shards", "4", "--shard-workers", "2",
+         "--shard-executor", "process", "--scalar-query-limit", "64"]
+    )
+    assert (args.shards, args.shard_workers) == (4, 2)
+    assert args.shard_executor == "process"
+    assert args.scalar_query_limit == 64
+
+
+# ========================================================== shard-dark fault
+class _ScriptedFaults(FaultModel):
+    name = "scripted-shard-test"
+
+    def __init__(self, episodes):
+        super().__init__({})
+        self.episodes = tuple(episodes)
+
+    def plan(self, node_ids, horizon, stream):
+        return FaultPlan(episodes=self.episodes)
+
+
+def test_partition_shard_mode_plans_the_shard_sentinel():
+    model = Partition({"at": 10.0, "duration": 5.0, "mode": "shard", "shard": 2})
+    plan = model.plan(["a", "b"], 100.0, lambda entity: random.Random(0))
+    assert [episode.subject for episode in plan.episodes] == [(SHARD, 2)]
+    pinned = Partition(
+        {"at": 10.0, "duration": 5.0, "mode": "shard", "shard": 1,
+         "shards": 3, "region_width": 40.0}
+    )
+    plan = pinned.plan(["a", "b"], 100.0, lambda entity: random.Random(0))
+    assert plan.episodes[0].subject == (SHARD, 1, 3, 40.0)
+    with pytest.raises(ValueError):
+        Partition({"mode": "shard", "shard": -1})
+    with pytest.raises(ValueError):
+        Partition({"mode": "shard", "shards": 0})
+
+
+def test_shard_dark_group_resolves_from_the_region_partition():
+    sim = Simulator(seed=3)
+    positions = {"a": (30.0, 0.0), "b": (80.0, 0.0), "c": (90.0, 0.0), "d": (150.0, 0.0)}
+    medium = WirelessMedium(
+        sim,
+        StaticPlacement(positions),
+        ChannelConfig(wifi_range=60.0, loss_rate=0.0, shards=3, shard_region_width=66.0),
+    )
+    radios = {node: Radio(sim, medium, node) for node in positions}
+    received = []
+    radios["b"].on_receive = lambda frame: received.append(frame.kind)
+    manager = FaultManager(
+        sim,
+        medium,
+        _ScriptedFaults([FaultEpisode(PARTITION, 1.0, 3.0, subject=(SHARD, 1))]),
+        list(positions),
+        horizon=10.0,
+    )
+    manager.activate()
+    # Shard 1 owns stripe [66, 132): exactly b and c go dark together.
+    sim.schedule_call(1.5, radios["a"].broadcast, "x", 400, "dark")
+    sim.schedule_call(1.5, radios["c"].broadcast, "x", 400, "inside")
+    sim.schedule_call(4.0, radios["a"].broadcast, "x", 400, "healed")
+    sim.run()
+    assert received == ["inside", "healed"]
+    assert manager.partitions_started == 1
+
+
+def test_shard_dark_rehearsal_is_byte_identical_sharded_and_unsharded():
+    # Geometry pinned via fault params: with it, the unsharded reference run
+    # (whose medium has no live RegionPartition) darkens exactly the group
+    # the sharded run does, so the rehearsal itself A/Bs byte-identically.
+    base = ExperimentConfig.tiny().with_overrides(
+        faults="partition",
+        fault_params={
+            "mode": "shard", "shard": 1, "shards": 3, "region_width": 40.0,
+            "at": 0.1, "duration": 0.3,
+        },
+    )
+    reference = run_fingerprint(base)
+    assert reference["extras"]["faults.partitions"] >= 1
+    assert run_fingerprint(base.with_overrides(**SHARDED)) == reference
