@@ -1,0 +1,34 @@
+"""Exception taxonomy for the distributed sweep cluster.
+
+Everything raised by the cluster subsystem derives from :class:`ClusterError`
+so callers can catch one base class; the leaves distinguish the three
+failure regimes a coordinator/worker deployment actually has — a peer that
+speaks garbage (:class:`ProtocolError`), a peer that is unreachable
+(:class:`CoordinatorUnavailable`), and work that is done but wrong
+(:class:`SubmissionFailed`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ClusterError",
+    "CoordinatorUnavailable",
+    "ProtocolError",
+    "SubmissionFailed",
+]
+
+
+class ClusterError(RuntimeError):
+    """Base class for every cluster-subsystem error."""
+
+
+class ProtocolError(ClusterError):
+    """A peer sent a message this protocol version cannot parse."""
+
+
+class CoordinatorUnavailable(ClusterError):
+    """The coordinator endpoint could not be reached (after any retries)."""
+
+
+class SubmissionFailed(ClusterError):
+    """A submission finished with poisoned (permanently failed) tasks."""

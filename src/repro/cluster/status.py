@@ -1,0 +1,92 @@
+"""Render a coordinator status snapshot for the terminal.
+
+The coordinator's ``status`` op returns a JSON-native snapshot (counts,
+per-submission progress, the worker table, gated ``cluster.*`` profiling
+counters); :func:`render_status` turns one snapshot into the fixed-width
+text block ``repro-experiments status`` prints.  Kept separate from the
+coordinator so tests can render canned snapshots without a server.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.profiling import format_profile
+
+__all__ = ["render_status"]
+
+_STATES = ("pending", "leased", "done", "failed")
+
+
+def _bar(done: int, total: int, width: int = 24) -> str:
+    if total <= 0:
+        return "-" * width
+    filled = int(round(width * done / total))
+    return "#" * filled + "-" * (width - filled)
+
+
+def render_status(snapshot: Dict[str, object]) -> str:
+    """One status snapshot as a human-readable block of text."""
+    lines: List[str] = []
+    counts = dict(snapshot.get("tasks") or {})
+    total = sum(int(counts.get(state, 0)) for state in _STATES)
+    done = int(counts.get("done", 0))
+    lines.append(
+        f"coordinator {snapshot.get('coordinator', '?')}  "
+        f"(up {float(snapshot.get('uptime_s', 0.0)):.0f}s, "
+        f"started {snapshot.get('started', '?')})"
+    )
+    lines.append(
+        "tasks: "
+        + "  ".join(f"{state}={int(counts.get(state, 0))}" for state in _STATES)
+        + f"  [{_bar(done, total)}] {done}/{total}"
+    )
+    lines.append(
+        f"events: {int(snapshot.get('events', 0))} "
+        f"({float(snapshot.get('events_per_sec', 0.0)):.0f} events/sec)"
+    )
+
+    submissions = list(snapshot.get("submissions") or [])
+    if submissions:
+        lines.append("")
+        lines.append(f"{'submission':<12} {'state':<8} {'progress':<14} "
+                     f"{'ev/sec':>8}  experiments")
+        for sub in submissions:
+            sub_counts = dict(sub.get("tasks") or {})
+            sub_total = sum(int(sub_counts.get(state, 0)) for state in _STATES)
+            sub_done = int(sub_counts.get("done", 0))
+            resumed = int(sub.get("resumed", 0))
+            progress = f"{sub_done}/{sub_total}"
+            if resumed:
+                progress += f" (+{resumed} cached)"
+            lines.append(
+                f"{str(sub.get('id', '?')):<12} {str(sub.get('state', '?')):<8} "
+                f"{progress:<14} {float(sub.get('events_per_sec', 0.0)):>8.0f}  "
+                + ", ".join(sub.get("experiments") or [])
+            )
+            for ref in sub.get("stored") or []:
+                tags = ",".join(ref.get("tags") or [])
+                suffix = f"  [{tags}]" if tags else ""
+                lines.append(f"{'':<12} stored: {ref.get('spec')}@{ref.get('key')}{suffix}")
+            for error in sub.get("errors") or []:
+                lines.append(f"{'':<12} error: {error}")
+
+    workers = list(snapshot.get("workers") or [])
+    lines.append("")
+    if workers:
+        lines.append(f"{'worker':<28} {'state':<10} {'last seen':>10} "
+                     f"{'done':>6} {'failed':>6}")
+        for worker in workers:
+            lines.append(
+                f"{str(worker.get('id', '?')):<28} {str(worker.get('state', '?')):<10} "
+                f"{float(worker.get('last_seen_s', 0.0)):>9.1f}s "
+                f"{int(worker.get('done', 0)):>6} {int(worker.get('failed', 0)):>6}"
+            )
+    else:
+        lines.append("workers: none registered")
+
+    profile = dict(snapshot.get("profile") or {})
+    if any(profile.values()):
+        lines.append("")
+        lines.append(format_profile(profile, title="cluster counters"))
+    return "\n".join(lines)

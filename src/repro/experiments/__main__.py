@@ -14,6 +14,12 @@ Usage (also installed as the ``repro-experiments`` console script)::
     python -m repro.experiments store list
     python -m repro.experiments store gc --keep 3
     python -m repro.experiments perf-gate
+    python -m repro.experiments run fig9a --preset tiny --dry-run
+    python -m repro.experiments serve --store results-store --port 7341
+    python -m repro.experiments worker --port 7341 --exit-when-idle
+    python -m repro.experiments submit fig9a --preset tiny --tag cluster
+    python -m repro.experiments status --port 7341
+    python -m repro.experiments stop --port 7341
 
 ``run`` flattens every requested experiment into one task grid executed
 over a single persistent process pool; with ``--out`` or ``--store`` each
@@ -29,6 +35,14 @@ alike).  ``--profile`` collects per-trial performance counters (see
 ``perf-gate`` re-runs the Fig. 9a benchmark workload and fails when the
 :func:`repro.experiments.report.throughput_verdict` against the committed
 ``BENCH_*.json`` baseline regresses — the CI perf smoke job.
+
+``serve``/``worker``/``submit``/``status``/``stop`` drive the distributed
+sweep cluster (:mod:`repro.cluster`): a coordinator serves the same task
+grid ``run`` would execute to worker loops over localhost/LAN TCP, merging
+results through the shared store so cluster, pool and serial runs are
+byte-identical and resume each other.  ``run --dry-run`` prints that grid
+(point/variant/trial × content-hash task key) without executing — the exact
+listing ``submit`` sends.
 """
 
 from __future__ import annotations
@@ -46,7 +60,12 @@ from repro.experiments.query import ResultSet
 from repro.experiments.scenario import ExperimentConfig
 from repro.experiments.spec import available_experiments, get_experiment
 from repro.experiments.store import ResultStore, StoredRun, content_key
-from repro.experiments.sweep import SweepRequest, run_experiment, run_suite
+from repro.experiments.sweep import (
+    SweepRequest,
+    run_experiment,
+    run_suite,
+    task_listing,
+)
 from repro.profiling import format_profile, merge_profiles
 
 DEFAULT_STORE = "results-store"
@@ -127,10 +146,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    if args.tag and not args.store:
-        raise SystemExit("--tag requires --store (tags live on stored runs)")
-    names = _resolve_names(args.experiments)
+def _config_from_args(args: argparse.Namespace) -> tuple:
+    """``(config, overrides)`` from the shared sweep-config flags."""
     overrides: Dict[str, object] = {}
     if args.trials is not None:
         overrides["trials"] = args.trials
@@ -156,14 +173,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["shard_executor"] = args.shard_executor
     if args.scalar_query_limit is not None:
         overrides["scalar_query_limit"] = args.scalar_query_limit
-    if args.workers is not None:
+    if getattr(args, "workers", None) is not None:
         overrides["workers"] = args.workers
     if args.profile:
         overrides["profile"] = True
     config = ExperimentConfig.preset(args.preset).with_overrides(**overrides)
-    axes = _parse_axis_overrides(args.axis)
+    return config, overrides
 
-    requests = []
+
+def _build_requests(
+    names: Sequence[str],
+    config: ExperimentConfig,
+    axes: Dict[str, tuple],
+    overrides: Dict[str, object],
+) -> List[SweepRequest]:
+    """The suite's :class:`SweepRequest` list, with axis/override validation."""
+    requests: List[SweepRequest] = []
     matched_axes = set()
     for name in names:
         spec = get_experiment(name)
@@ -196,6 +221,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"--axis {'/'.join(sorted(unmatched))} matches no axis of the requested "
             f"experiment(s); available axes: {known}"
         )
+    return requests
+
+
+def _print_task_listing(
+    requests: Sequence[SweepRequest], store: Optional[str], resume: bool
+) -> int:
+    """Render the flattened grid (what run would execute / submit would send)."""
+    rows = task_listing(requests, store=store, resume=resume)
+    cached = sum(1 for row in rows if row["cached"])
+    print(f"{'task':<44} {'protocol':<12} {'seed':>10}  label")
+    for row in rows:
+        params = ", ".join(f"{k}={v}" for k, v in row["parameters"].items())
+        marker = "  [cached]" if row["cached"] else ""
+        print(
+            f"{row['task']:<44} {row['protocol']:<12} {row['seed']:>10}  "
+            f"{row['label']}" + (f" ({params})" if params else "") + marker
+        )
+    print(
+        f"\n{len(rows)} task(s)"
+        + (f", {cached} already satisfied by the store's task cache" if cached else "")
+        + " — nothing executed (--dry-run)"
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.tag and not args.store:
+        raise SystemExit("--tag requires --store (tags live on stored runs)")
+    names = _resolve_names(args.experiments)
+    config, overrides = _config_from_args(args)
+    axes = _parse_axis_overrides(args.axis)
+    requests = _build_requests(names, config, axes, overrides)
+    if args.dry_run:
+        return _print_task_listing(requests, args.store, resume=not args.no_resume)
 
     total = sum(
         request.spec.with_axes(request.axes).task_count(config) for request in requests
@@ -462,6 +521,130 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+# ====================================================== cluster commands
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.cluster import Coordinator
+
+    coordinator = Coordinator(
+        store=args.store,
+        host=args.host,
+        port=args.port,
+        lease_ttl=args.lease_ttl,
+        heartbeat_interval=args.heartbeat_interval,
+        max_attempts=args.max_attempts,
+        profile=args.profile,
+        on_event=None if args.quiet else lambda text: print(text, flush=True),
+    ).start()
+    print(
+        f"serving sweep tasks on {coordinator.endpoint} "
+        f"(store={args.store}, lease_ttl={args.lease_ttl:g}s); "
+        f"stop with 'repro-experiments stop --port {coordinator.port}' or Ctrl-C",
+        flush=True,
+    )
+    try:
+        while coordinator._server is not None:
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        coordinator.stop()
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.cluster import ClusterWorker, CoordinatorUnavailable
+
+    worker = ClusterWorker(
+        args.host,
+        args.port,
+        worker_id=args.id,
+        poll_interval=args.poll_interval,
+        exit_when_idle=args.exit_when_idle,
+        max_tasks=args.max_tasks,
+        on_event=None if args.quiet else lambda text: print(text, flush=True),
+    )
+    # SIGTERM drains gracefully: the current lease finishes and uploads, then
+    # the loop exits.  An abrupt kill is what the coordinator's lease TTL is
+    # for — the task re-dispatches to another worker.
+    signal.signal(signal.SIGTERM, lambda signum, frame: worker.request_drain())
+    try:
+        executed = worker.run()
+    except CoordinatorUnavailable as exc:
+        raise SystemExit(f"worker: {exc}")
+    except KeyboardInterrupt:
+        executed = worker.executed
+    print(f"worker {worker.id}: {executed} task(s) executed, {worker.failed} failed")
+    return 0
+
+
+def _cluster_client(args: argparse.Namespace, retries: int = 5):
+    from repro.cluster import ClusterClient
+
+    return ClusterClient(args.host, args.port, retries=retries)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterError, build_submission_payload
+
+    names = _resolve_names(args.experiments)
+    config, overrides = _config_from_args(args)
+    axes = _parse_axis_overrides(args.axis)
+    requests = _build_requests(names, config, axes, overrides)
+    if args.dry_run:
+        return _print_task_listing(requests, None, resume=not args.no_resume)
+    payload = build_submission_payload(
+        names,
+        config,
+        {
+            request.spec.name: dict(request.axes)
+            for request in requests
+            if request.axes
+        },
+        tag=args.tag,
+        resume=not args.no_resume,
+    )
+    try:
+        reply = _cluster_client(args).request("submit", **payload)
+    except ClusterError as exc:
+        raise SystemExit(f"submit: {exc}")
+    print(
+        f"submission {reply['submission']} accepted by {args.host}:{args.port}: "
+        f"{reply['tasks']} task(s) queued, {reply['resumed']} resumed from the "
+        f"store's task cache ({', '.join(reply['experiments'])})"
+    )
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterError, render_status
+
+    client = _cluster_client(args, retries=0)
+    try:
+        if args.watch:
+            for snapshot in client.stream("status", watch=True, interval=args.interval):
+                print(json.dumps(snapshot) if args.json else render_status(snapshot))
+                print(flush=True)
+            return 0
+        snapshot = client.request("status")
+        print(json.dumps(snapshot) if args.json else render_status(snapshot))
+        return 0
+    except ClusterError as exc:
+        raise SystemExit(f"status: {exc}")
+
+
+def _cmd_stop(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterError
+
+    try:
+        _cluster_client(args, retries=0).request("stop")
+    except ClusterError as exc:
+        raise SystemExit(f"stop: {exc}")
+    print(f"coordinator at {args.host}:{args.port} stopping")
+    return 0
+
+
 def _cmd_store_list(args: argparse.Namespace) -> int:
     records = ResultStore(args.store).list(spec=args.spec, tag=args.tag)
     if not records:
@@ -501,61 +684,136 @@ def build_parser() -> argparse.ArgumentParser:
     )
     list_parser.set_defaults(func=_cmd_list)
 
-    run_parser = sub.add_parser("run", help="run one or more experiments (or 'all')")
-    run_parser.add_argument(
-        "experiments", nargs="+", metavar="EXPERIMENT",
-        help="experiment names/aliases (fig9a ... table1), or 'all'",
-    )
-    run_parser.add_argument("--preset", choices=("tiny", "small", "paper"), default="small",
+    def add_config_flags(target: argparse.ArgumentParser) -> None:
+        """Sweep-config flags shared by ``run`` and ``submit``."""
+        target.add_argument(
+            "experiments", nargs="+", metavar="EXPERIMENT",
+            help="experiment names/aliases (fig9a ... table1), or 'all'",
+        )
+        target.add_argument("--preset", choices=("tiny", "small", "paper"), default="small",
                             help="scale preset (default: small)")
-    run_parser.add_argument("--workers", type=int, default=None,
-                            help="process-pool size for the whole task grid (default: preset)")
-    run_parser.add_argument("--trials", type=int, default=None, help="trials per sweep point")
-    run_parser.add_argument("--seed", type=int, default=None, help="base seed")
-    run_parser.add_argument("--topology", default=None,
+        target.add_argument("--trials", type=int, default=None, help="trials per sweep point")
+        target.add_argument("--seed", type=int, default=None, help="base seed")
+        target.add_argument("--topology", default=None,
                             help="registered topology name (quadrant, clusters, corridor, ...)")
-    run_parser.add_argument("--propagation", default=None,
+        target.add_argument("--propagation", default=None,
                             help="registered propagation model (unit_disk, log_distance, obstacle)")
-    run_parser.add_argument("--churn", default=None,
+        target.add_argument("--churn", default=None,
                             help="registered churn model (none, poisson, flashcrowd, trace)")
-    run_parser.add_argument("--faults", default=None,
+        target.add_argument("--faults", default=None,
                             help="registered fault model (none, link_flap, partition, stall, degrade)")
-    run_parser.add_argument("--invariants", action="store_true",
+        target.add_argument("--invariants", action="store_true",
                             help="enable runtime safety/liveness invariant monitoring "
                                  "(pure observation; a violation fails the trial)")
-    run_parser.add_argument("--array-backend", default=None,
+        target.add_argument("--array-backend", default=None,
                             choices=["auto", "numpy", "scalar"],
                             help="hot-path implementation (results are byte-identical; "
                                  "'auto' uses NumPy when importable)")
-    run_parser.add_argument("--shards", type=int, default=None,
+        target.add_argument("--shards", type=int, default=None,
                             help="region-shard the medium into K x-stripe regions "
                                  "(byte-identical results; see repro.wireless.sharded)")
-    run_parser.add_argument("--shard-workers", type=int, default=None,
+        target.add_argument("--shard-workers", type=int, default=None,
                             help="step shard snapshot builds with this many workers "
                                  "at each epoch barrier (default 1 = serial)")
-    run_parser.add_argument("--shard-executor", default=None,
+        target.add_argument("--shard-executor", default=None,
                             choices=["thread", "process", "serial"],
                             help="intra-trial shard executor (default thread; only "
                                  "consulted when --shard-workers > 1)")
-    run_parser.add_argument("--scalar-query-limit", type=int, default=None,
+        target.add_argument("--scalar-query-limit", type=int, default=None,
                             help="population threshold for the array index's "
                                  "scalar/vectorized crossover (default: 256 for grid, "
                                  "1 for grid_array)")
+        target.add_argument("--tag", default=None,
+                            help="tag saved runs, e.g. --tag nightly")
+        target.add_argument("--no-resume", action="store_true",
+                            help="ignore previously persisted task results")
+        target.add_argument("--axis", action="append", default=[], metavar="NAME=V1,V2",
+                            help="override an axis, e.g. --axis wifi_range=40,80 (repeatable)")
+        target.add_argument("--profile", action="store_true",
+                            help="collect per-trial performance counters")
+        target.add_argument("--dry-run", action="store_true",
+                            help="print the flattened task grid (point/variant/trial x "
+                                 "content-hash key) without executing anything")
+
+    def add_cluster_flags(target: argparse.ArgumentParser) -> None:
+        from repro.cluster import DEFAULT_HOST, DEFAULT_PORT
+
+        target.add_argument("--host", default=DEFAULT_HOST,
+                            help=f"coordinator host (default: {DEFAULT_HOST})")
+        target.add_argument("--port", type=int, default=DEFAULT_PORT,
+                            help=f"coordinator port (default: {DEFAULT_PORT})")
+
+    run_parser = sub.add_parser("run", help="run one or more experiments (or 'all')")
+    add_config_flags(run_parser)
+    run_parser.add_argument("--workers", type=int, default=None,
+                            help="process-pool size for the whole task grid (default: preset)")
     run_parser.add_argument("--out", default=None, metavar="DIR",
                             help="persist per-task results + aggregated JSON under DIR (enables resume)")
     run_parser.add_argument("--store", default=None, metavar="DIR",
                             help="save aggregates into a content-addressed ResultStore under DIR "
                                  "(enables resume; see 'report'/'diff'/'export'/'store')")
-    run_parser.add_argument("--tag", default=None,
-                            help="tag saved runs (requires --store), e.g. --tag nightly")
-    run_parser.add_argument("--no-resume", action="store_true",
-                            help="ignore previously persisted task results")
-    run_parser.add_argument("--axis", action="append", default=[], metavar="NAME=V1,V2",
-                            help="override an axis, e.g. --axis wifi_range=40,80 (repeatable)")
     run_parser.add_argument("--quiet", action="store_true", help="suppress per-task progress lines")
-    run_parser.add_argument("--profile", action="store_true",
-                            help="collect per-trial performance counters and print the breakdown")
     run_parser.set_defaults(func=_cmd_run)
+
+    serve_parser = sub.add_parser(
+        "serve", help="serve a sweep task grid to cluster workers (coordinator)"
+    )
+    add_cluster_flags(serve_parser)
+    serve_parser.add_argument("--store", default=DEFAULT_STORE, metavar="DIR",
+                              help=f"shared ResultStore root (default: {DEFAULT_STORE})")
+    serve_parser.add_argument("--lease-ttl", type=float, default=15.0,
+                              help="seconds without a heartbeat before a lease expires "
+                                   "and its task re-dispatches (default: 15)")
+    serve_parser.add_argument("--heartbeat-interval", type=float, default=3.0,
+                              help="heartbeat cadence advertised to workers (default: 3)")
+    serve_parser.add_argument("--max-attempts", type=int, default=5,
+                              help="attempts before a task is poisoned and its "
+                                   "submission fails (default: 5)")
+    serve_parser.add_argument("--profile", action="store_true",
+                              help="record cluster.* counters in stored run metadata")
+    serve_parser.add_argument("--quiet", action="store_true",
+                              help="suppress per-event log lines")
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    worker_parser = sub.add_parser(
+        "worker", help="claim and execute tasks from a coordinator (worker loop)"
+    )
+    add_cluster_flags(worker_parser)
+    worker_parser.add_argument("--id", default=None,
+                               help="worker id (default: <hostname>-<pid>)")
+    worker_parser.add_argument("--poll-interval", type=float, default=0.5,
+                               help="idle poll cadence in seconds (default: 0.5)")
+    worker_parser.add_argument("--exit-when-idle", action="store_true",
+                               help="exit once the coordinator has no live work "
+                                    "(CI smoke runs)")
+    worker_parser.add_argument("--max-tasks", type=int, default=None,
+                               help="exit after executing this many tasks")
+    worker_parser.add_argument("--quiet", action="store_true",
+                               help="suppress per-task log lines")
+    worker_parser.set_defaults(func=_cmd_worker)
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit experiments to a running coordinator"
+    )
+    add_config_flags(submit_parser)
+    add_cluster_flags(submit_parser)
+    submit_parser.set_defaults(func=_cmd_submit)
+
+    status_parser = sub.add_parser(
+        "status", help="show a coordinator's per-task progress and worker table"
+    )
+    add_cluster_flags(status_parser)
+    status_parser.add_argument("--watch", action="store_true",
+                               help="stream snapshots until all work settles")
+    status_parser.add_argument("--interval", type=float, default=2.0,
+                               help="snapshot cadence with --watch (default: 2)")
+    status_parser.add_argument("--json", action="store_true",
+                               help="print raw JSON snapshots instead of the table")
+    status_parser.set_defaults(func=_cmd_status)
+
+    stop_parser = sub.add_parser("stop", help="stop a running coordinator")
+    add_cluster_flags(stop_parser)
+    stop_parser.set_defaults(func=_cmd_stop)
 
     run_ref_help = (
         "stored run reference (SPEC, SPEC@latest, SPEC@TAG, SPEC@KEY or a bare key) "

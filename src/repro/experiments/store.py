@@ -26,7 +26,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import re
+import tempfile
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
@@ -48,6 +50,31 @@ def _slug(text: str) -> str:
 
 def _canonical_json(payload: object) -> str:
     return json.dumps(payload, sort_keys=True, default=str, allow_nan=False)
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` so readers never observe a torn file.
+
+    The temp file gets a *unique* name (``mkstemp``) in the target directory
+    — a deterministic ``.tmp`` sibling would race when concurrent cluster
+    workers flush the same task key, with one writer renaming the other's
+    half-written file into place.  ``os.replace`` is atomic on POSIX and
+    Windows, so a crash mid-write leaves the old content (or no file), never
+    a truncated one; the stray ``.tmp`` is unlinked on any failure.
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def content_key(sweep: SweepResult) -> str:
@@ -126,10 +153,9 @@ class TaskCache:
             "seed": seed,
             "result": result.to_dict(),
         }
-        path = self.path(point, trial)
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True, allow_nan=False), encoding="utf-8")
-        tmp.replace(path)
+        _atomic_write_text(
+            self.path(point, trial), json.dumps(payload, sort_keys=True, allow_nan=False)
+        )
 
 
 # ================================================================== store
@@ -224,12 +250,9 @@ class ResultStore:
 
         payload = {"meta": meta, "sweep": sweep.to_dict()}
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(
-            json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n",
-            encoding="utf-8",
+        _atomic_write_text(
+            path, json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n"
         )
-        tmp.replace(path)
         return StoredRun(key=key, spec=str(spec_name), path=path, meta=meta)
 
     # ------------------------------------------------------------------ list

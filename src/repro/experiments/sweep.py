@@ -189,6 +189,49 @@ def _flatten_tasks(prepared: Sequence[_PreparedRequest]) -> List[SweepTask]:
     return tasks
 
 
+def task_listing(
+    requests: Sequence[SweepRequest],
+    *,
+    store: Optional[Union[ResultStore, str, Path]] = None,
+    resume: bool = True,
+) -> List[Dict[str, object]]:
+    """The flattened task grid as rows, without executing anything.
+
+    One row per ``(experiment, point, trial)`` cell — exactly the tasks
+    ``run_suite`` would schedule and ``repro-experiments submit`` would send,
+    including each cell's content-hash task key (the :class:`TaskCache` /
+    cluster task id).  With ``store`` set and ``resume`` on, rows already
+    satisfied by the store's task cache are flagged ``cached``.
+    """
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    prepared = _prepare(requests, None, store)
+    rows: List[Dict[str, object]] = []
+    for item in prepared:
+        plan_key = item.cache_key or sweep_cache_key(item.spec, item.plans)
+        for plan in item.plans:
+            for trial, seed in enumerate(plan.seeds):
+                cached = (
+                    resume
+                    and item.cache is not None
+                    and item.cache.load(plan.index, trial, seed) is not None
+                )
+                rows.append(
+                    {
+                        "experiment": item.spec.name,
+                        "point": plan.index,
+                        "label": plan.label,
+                        "protocol": plan.protocol,
+                        "parameters": dict(plan.parameters),
+                        "trial": trial,
+                        "seed": seed,
+                        "task": f"{item.spec.name}-{plan_key}/task-{plan.index:04d}-{trial:03d}",
+                        "cached": cached,
+                    }
+                )
+    return rows
+
+
 def _aggregate(item: _PreparedRequest) -> SweepResult:
     sweep = SweepResult(name=item.spec.title, description=item.spec.description)
     aggregate_fn = item.spec.aggregate_fn or aggregate_trials
@@ -253,6 +296,24 @@ def run_suite(
 
     parallelizable = [t for t in pending if prepared[t.request].pool_safe]
     serial_only = [t for t in pending if not prepared[t.request].pool_safe]
+    if serial_only:
+        # Say *why* these tasks bypass the pool: an unpicklable hook looks
+        # exactly like workers=1 from the outside, and the two have very
+        # different fixes (move the hook to module level vs raise workers).
+        names = ", ".join(sorted({t.experiment for t in serial_only}))
+        if workers > 1:
+            reason = (
+                "their trial hooks failed the pickle round-trip "
+                "(lambdas/closures cannot reach pool workers; "
+                "define the hook at module level to parallelize)"
+            )
+        else:
+            reason = "workers=1 disables the process pool"
+        warnings.warn(
+            f"{len(serial_only)} task(s) from {names} will run serially: {reason}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     if workers > 1 and len(parallelizable) > 1:
         try:
             with ProcessPoolExecutor(max_workers=min(workers, len(parallelizable))) as pool:

@@ -196,6 +196,29 @@ def test_sharded_matches_brute_force_for_random_worlds(
             assert sharded.neighbors(node_id, radius, when) == expected
 
 
+def test_backward_query_into_an_earlier_epoch_resyncs_membership():
+    """Regression: a query far back in time must re-shard, not trust stale regions.
+
+    A walker observed at t=15 lands in whatever region it occupies *then*;
+    replaying t=0 afterwards crosses epoch boundaries backwards, where the
+    per-epoch drift slack no longer bounds membership staleness.  The index
+    must force an epoch roll at the queried time instead of searching the
+    wrong shard (pinned falsifying example from the property test above).
+    """
+    mobility, node_ids = build_mobility([(0.0, 0.0)], 1, seed=7)
+    brute = BruteForceNeighborIndex(mobility)
+    sharded = ShardedNeighborIndex(
+        mobility, cell_size=60.0, shards=3, region_width=10.0, epoch=1.0
+    )
+    for node_id in node_ids:
+        brute.attach(node_id)
+        sharded.attach(node_id)
+    for when in (15.0, 0.0):
+        for node_id in node_ids:
+            expected = brute.neighbors(node_id, 150.0, when)
+            assert sharded.neighbors(node_id, 150.0, when) == expected
+
+
 @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
 def test_sharded_equivalence_under_churn_in_every_executor_mode(executor):
     """Random attach/detach against brute force, stepping shards in parallel."""
